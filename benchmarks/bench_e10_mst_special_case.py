@@ -1,0 +1,49 @@
+"""E10 — Section 1: the MST special case (k = 1, t = n) is solved exactly.
+
+The deterministic algorithm specializes to an exact MST when every node is
+a terminal of one component; compares output weight against Kruskal.
+"""
+
+import random
+
+from benchmarks.conftest import print_table
+from repro.baselines import exact_mst_weight
+from repro.baselines.mst import mst_instance
+from repro.core import distributed_moat_growing
+from repro.workloads import grid_graph, random_connected_graph
+
+CASES = (
+    ("gnp-12", lambda: random_connected_graph(12, 0.4, random.Random(1))),
+    ("gnp-16", lambda: random_connected_graph(16, 0.3, random.Random(2))),
+    ("grid-3x4", lambda: grid_graph(3, 4, random.Random(3))),
+)
+
+
+def run_sweep():
+    rows = []
+    for name, build in CASES:
+        graph = build()
+        inst = mst_instance(graph)
+        result = distributed_moat_growing(inst)
+        mst = exact_mst_weight(graph)
+        rows.append(
+            (
+                name,
+                graph.num_nodes,
+                mst,
+                result.solution.weight,
+                result.solution.weight == mst,
+                result.rounds,
+            )
+        )
+    return rows
+
+
+def test_e10_mst_special_case(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E10: MST special case — moat output vs exact MST",
+        ("graph", "n", "MST", "W(F)", "exact?", "rounds"),
+        rows,
+    )
+    assert all(r[4] for r in rows)

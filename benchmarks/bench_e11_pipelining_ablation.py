@@ -1,0 +1,56 @@
+"""E11 — ablation of Section 5's key insight: per-destination round-robin
+pipelining vs naive sequential routing.
+
+The same embedding and label-carrier schedule is routed twice: with
+per-destination queues (one message per destination tree per round,
+time-multiplexed over the O(log n) trees through each node) and naively
+(one message per node per round). The paper's claim: pipelining brings the
+selection from Õ(sk) to Õ(s + k).
+"""
+
+import random
+
+from benchmarks.conftest import print_table
+from repro.congest import CongestRun
+from repro.randomized import build_embedding, first_stage_selection
+from repro.workloads import ring_of_blobs, terminals_on_graph
+
+K_SWEEP = (2, 4, 8)
+
+
+def run_sweep():
+    graph = ring_of_blobs(10, 3, random.Random(6))
+    s = graph.shortest_path_diameter()
+    rows = []
+    for k in K_SWEEP:
+        inst = terminals_on_graph(graph, k, 2, random.Random(8))
+        run = CongestRun(graph)
+        emb = build_embedding(graph, run, random.Random(5))
+        piped = first_stage_selection(inst, emb, CongestRun(graph))
+        naive = first_stage_selection(
+            inst, emb, CongestRun(graph), naive=True
+        )
+        rows.append(
+            (
+                k,
+                s,
+                piped.routing_rounds,
+                naive.routing_rounds,
+                piped.multiplex_factor,
+                f"{naive.routing_rounds / max(1, piped.routing_rounds):.2f}",
+            )
+        )
+    return rows
+
+
+def test_e11_pipelining_ablation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E11: routing rounds — pipelined vs naive (sweep k)",
+        ("k", "s", "pipelined", "naive", "multiplex", "speedup"),
+        rows,
+    )
+    for row in rows:
+        assert row[2] <= row[3]
+    # The speedup does not shrink as k grows.
+    assert float(rows[-1][5]) >= float(rows[0][5]) * 0.8

@@ -1,0 +1,53 @@
+"""E12 — ablation (Section 4.2): the ε trade-off.
+
+Lemma F.1: the number of growth phases is O(log WD / ε), while Theorem 4.2
+bounds the ratio by 2 + ε. Sweeping ε shows the rounds-vs-quality knob: the
+sublinear algorithm's round count follows the growth-phase count.
+"""
+
+import random
+from fractions import Fraction
+
+from benchmarks.conftest import print_table
+from repro.core import sublinear_moat_growing
+from repro.exact import steiner_forest_cost
+from repro.workloads import random_instance
+
+EPSILONS = (Fraction(1, 20), Fraction(1, 4), Fraction(1), Fraction(2))
+
+
+def run_sweep():
+    inst = random_instance(14, 2, random.Random(12))
+    opt = steiner_forest_cost(inst)
+    rows = []
+    for eps in EPSILONS:
+        result = sublinear_moat_growing(inst, eps)
+        result.solution.assert_feasible(inst)
+        ratio = result.solution.weight / opt if opt else 1.0
+        rows.append(
+            (
+                f"{float(eps):.2f}",
+                result.num_growth_phases,
+                result.num_merge_phases,
+                result.rounds,
+                f"{ratio:.3f}",
+                f"{2 + float(eps):.2f}",
+            )
+        )
+    return rows
+
+
+def test_e12_epsilon_ablation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E12: ε ablation — growth phases / rounds vs approximation",
+        ("epsilon", "growth phases", "merge phases", "rounds", "ratio",
+         "bound 2+ε"),
+        rows,
+    )
+    # Finer ε: more growth phases and rounds.
+    assert rows[0][1] >= rows[-1][1]
+    assert rows[0][3] >= rows[-1][3]
+    # All ratios within their bound.
+    for row in rows:
+        assert float(row[4]) <= float(row[5])

@@ -1,0 +1,76 @@
+"""E13 — Lemmas 2.3 / 2.4: input transforms in O(D + t) / O(D + k) rounds.
+
+Sweeps the number of requests/labels on a fixed graph and confirms the
+measured round counts stay within a constant of D + t (resp. D + k), while
+outputs match the centralized reference transforms.
+"""
+
+import random
+
+from benchmarks.conftest import print_table
+from repro.congest import (
+    CongestRun,
+    distributed_minimalize,
+    distributed_requests_to_components,
+)
+from repro.model import ConnectionRequestInstance, SteinerForestInstance
+from repro.model.transforms import minimalize_instance, requests_to_components
+from repro.workloads import random_connected_graph
+
+SIZES = (2, 4, 8)
+
+
+def run_sweep():
+    graph = random_connected_graph(24, 0.15, random.Random(21))
+    d = graph.unweighted_diameter()
+    nodes = list(graph.nodes)
+    rows = []
+    for size in SIZES:
+        rng = random.Random(size)
+        shuffled = nodes[:]
+        rng.shuffle(shuffled)
+        requests = {
+            shuffled[2 * i]: {shuffled[2 * i + 1]} for i in range(size)
+        }
+        cr = ConnectionRequestInstance(graph, requests)
+        run_cr = CongestRun(graph)
+        got = distributed_requests_to_components(cr, run_cr)
+        assert got.labels == requests_to_components(cr).labels
+
+        labels = {
+            shuffled[i]: f"L{i % size}" for i in range(2 * size)
+        }
+        ic = SteinerForestInstance(graph, labels)
+        run_ic = CongestRun(graph)
+        got_min = distributed_minimalize(ic, run_ic)
+        assert got_min.labels == minimalize_instance(ic).labels
+
+        t = cr.num_terminals
+        k = ic.num_components
+        rows.append(
+            (
+                size,
+                d,
+                t,
+                run_cr.rounds,
+                f"{run_cr.rounds / (d + t):.1f}",
+                k,
+                run_ic.rounds,
+                f"{run_ic.rounds / (d + k):.1f}",
+            )
+        )
+    return rows
+
+
+def test_e13_transforms(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E13: transforms — rounds vs O(D+t) (Lemma 2.3) and O(D+k) "
+        "(Lemma 2.4)",
+        ("demands", "D", "t", "rounds CR→IC", "/(D+t)", "k",
+         "rounds minimalize", "/(D+k)"),
+        rows,
+    )
+    for row in rows:
+        assert float(row[4]) <= 12
+        assert float(row[7]) <= 12

@@ -1,0 +1,65 @@
+"""E14 — the embedding's structural substrate ([14], used by Section 5):
+LE-list lengths are O(log n) and the distributed computation matches the
+specification.
+
+The O(log n) bound on LE-list lengths is exactly why only O(log n)
+embedding paths pass through any node w.h.p. — the enabler of the paper's
+Õ(s + k) pipelined selection.
+"""
+
+import math
+import random
+
+from benchmarks.conftest import print_table
+from repro.congest import CongestRun
+from repro.randomized.le_lists import (
+    distributed_le_lists,
+    le_list_reference,
+)
+from repro.workloads import random_connected_graph
+
+N_SWEEP = (10, 16, 24)
+
+
+def run_sweep():
+    rows = []
+    for n in N_SWEEP:
+        graph = random_connected_graph(n, 0.3, random.Random(n))
+        lengths = []
+        mismatches = 0
+        rounds = 0
+        for seed in range(3):
+            nodes = list(graph.nodes)
+            rng = random.Random(seed)
+            rng.shuffle(nodes)
+            rank = {v: i for i, v in enumerate(nodes)}
+            run = CongestRun(graph)
+            lists = distributed_le_lists(graph, rank, run)
+            rounds = max(rounds, run.rounds)
+            for v in graph.nodes:
+                if lists[v] != le_list_reference(graph, rank, v):
+                    mismatches += 1
+                lengths.append(len(lists[v]))
+        rows.append(
+            (
+                n,
+                f"{sum(lengths) / len(lengths):.2f}",
+                max(lengths),
+                f"{math.log(n):.2f}",
+                mismatches,
+                rounds,
+            )
+        )
+    return rows
+
+
+def test_e14_le_lists(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E14: LE lists — length O(log n), distributed = reference",
+        ("n", "mean |LE|", "max |LE|", "ln n", "mismatches", "rounds"),
+        rows,
+    )
+    for row in rows:
+        assert row[4] == 0  # distributed matches the specification
+        assert float(row[1]) <= 4 * float(row[3]) + 2  # O(log n) mean

@@ -1,0 +1,57 @@
+"""E2 — Theorem 4.2: Algorithm 2 (rounded radii) is a (2+ε)-approximation.
+
+Sweeps ε and measures ratio against the exact optimum plus the growth-phase
+count of Lemma F.1.
+"""
+
+import random
+from fractions import Fraction
+
+from benchmarks.conftest import print_table
+from repro.core.rounded import num_growth_phases, rounded_moat_growing
+from repro.exact import steiner_forest_cost
+from repro.workloads import random_instance
+
+EPSILONS = (Fraction(1, 10), Fraction(1, 2), Fraction(1))
+SEEDS = range(8)
+
+
+def run_sweep():
+    rows = []
+    for eps in EPSILONS:
+        worst = 0.0
+        phases = []
+        for seed in SEEDS:
+            rng = random.Random(seed)
+            inst = random_instance(
+                rng.randint(10, 14), rng.randint(1, 3), rng
+            )
+            opt = steiner_forest_cost(inst)
+            if opt == 0:
+                continue
+            result = rounded_moat_growing(inst, eps)
+            result.solution.assert_feasible(inst)
+            worst = max(worst, result.solution.weight / opt)
+            phases.append(num_growth_phases(result))
+        rows.append(
+            (
+                f"{float(eps):.2f}",
+                f"{worst:.3f}",
+                f"{2 + float(eps):.2f}",
+                max(phases),
+            )
+        )
+    return rows
+
+
+def test_e2_rounded_ratio(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E2: Algorithm 2 ratio and growth phases per ε",
+        ("epsilon", "worst ratio", "paper bound 2+ε", "max growth phases"),
+        rows,
+    )
+    for eps_str, worst, bound, _ in rows:
+        assert float(worst) <= float(bound)
+    # Fewer phases for coarser ε.
+    assert rows[0][3] >= rows[-1][3]

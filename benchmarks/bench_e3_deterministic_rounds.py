@@ -1,0 +1,58 @@
+"""E3 — Theorem 4.17: distributed deterministic algorithm, O(ks + t) rounds.
+
+Sweeps k on a fixed ring-of-blobs graph (controllable s) and checks the
+measured round counts grow at most linearly in k·s + t, while the output
+matches the centralized Algorithm 1.
+"""
+
+import random
+
+from benchmarks.conftest import print_table
+from repro.core import distributed_moat_growing, moat_growing
+from repro.workloads import ring_of_blobs, terminals_on_graph
+
+K_SWEEP = (1, 2, 4, 6)
+
+
+def run_sweep():
+    graph = ring_of_blobs(8, 3, random.Random(7))
+    s = graph.shortest_path_diameter()
+    rows = []
+    for k in K_SWEEP:
+        inst = terminals_on_graph(graph, k, 2, random.Random(11))
+        dist = distributed_moat_growing(inst)
+        central = moat_growing(inst)
+        dist.solution.assert_feasible(inst)
+        # Ring-of-blobs weights contain ties, so the two runs may select
+        # different (equally short) merge paths; the paper's comparability
+        # assumes distinct path weights (Section 2). Require both outputs
+        # within the 2-approximation certified by the dual lower bound.
+        assert dist.solution.weight <= 2 * central.dual_lower_bound
+        assert central.solution.weight <= 2 * central.dual_lower_bound
+        t = inst.num_terminals
+        rows.append(
+            (
+                k,
+                s,
+                t,
+                dist.rounds,
+                dist.num_phases,
+                k * s + t,
+                f"{dist.rounds / (k * s + t):.1f}",
+            )
+        )
+    return rows
+
+
+def test_e3_deterministic_rounds(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E3: deterministic rounds vs O(ks + t) (ring-of-blobs, sweep k)",
+        ("k", "s", "t", "rounds", "phases", "ks+t", "rounds/(ks+t)"),
+        rows,
+    )
+    # Shape: the normalized cost stays bounded (no super-linear blowup).
+    normalized = [float(r[6]) for r in rows]
+    assert max(normalized) <= 10 * max(1.0, min(normalized))
+    # Rounds increase with k on a fixed graph.
+    assert rows[0][3] <= rows[-1][3]

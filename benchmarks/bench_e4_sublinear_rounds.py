@@ -1,0 +1,60 @@
+"""E4 — Corollary 4.21: the sublinear variant's Õ(sk + √min{st,n}) rounds.
+
+Sweeps the number of terminals t at fixed k on a fixed graph; the
+Section 4.1 algorithm pays O(t) additively while the Section 4.2 algorithm
+replaces it by √min{st, n} — the gap should widen as t grows.
+"""
+
+import random
+
+from benchmarks.conftest import print_table
+from repro.core import distributed_moat_growing, sublinear_moat_growing
+from repro.workloads import random_connected_graph, terminals_on_graph
+
+T_SWEEP = (4, 8, 16)
+
+
+def run_sweep():
+    graph = random_connected_graph(36, 0.15, random.Random(5))
+    rows = []
+    for t in T_SWEEP:
+        inst = terminals_on_graph(graph, 2, t // 2, random.Random(3))
+        plain = distributed_moat_growing(inst)
+        sub = sublinear_moat_growing(inst, 0.5)
+        sub.solution.assert_feasible(inst)
+        rows.append(
+            (
+                t,
+                sub.sigma,
+                plain.rounds,
+                sub.rounds,
+                plain.solution.weight,
+                sub.solution.weight,
+            )
+        )
+    return rows
+
+
+def test_e4_sublinear_rounds(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E4: Section 4.1 (O(ks+t)) vs Section 4.2 (Õ(sk+σ)), sweep t",
+        ("t", "sigma", "rounds 4.1", "rounds 4.2", "W 4.1", "W 4.2"),
+        rows,
+    )
+    # σ grows like √(st) and stays far below t·s.
+    for t, sigma, *_ in rows:
+        assert sigma * sigma <= 36 + 1  # σ = √min{st, n} ≤ √n
+    # Both stay feasible with comparable weight (within the (2+ε)/2 gap).
+    for row in rows:
+        assert row[5] <= 1.5 * row[4] + 1
+
+
+def test_e4_sublinear_single(benchmark):
+    """Timing of one sublinear run (the benchmarked kernel)."""
+    graph = random_connected_graph(30, 0.15, random.Random(5))
+    inst = terminals_on_graph(graph, 2, 4, random.Random(3))
+    result = benchmark.pedantic(
+        lambda: sublinear_moat_growing(inst, 0.5), rounds=1, iterations=1
+    )
+    assert result.solution.is_feasible(inst)

@@ -1,0 +1,63 @@
+"""E5 — Theorem 5.2: the randomized algorithm's ratio O(log n) and rounds
+Õ(k + min{s, √n} + D).
+
+Sweeps n with proportional terminal counts; reports the measured
+approximation ratio (vs exact OPT on the sizes where it is computable) and
+round counts normalized by k + min{s, √n} + D.
+"""
+
+import math
+import random
+
+from benchmarks.conftest import print_table
+from repro.exact import steiner_forest_cost
+from repro.randomized import randomized_steiner_forest
+from repro.workloads import random_instance
+
+N_SWEEP = (12, 18, 24)
+
+
+def run_sweep():
+    rows = []
+    for n in N_SWEEP:
+        rng = random.Random(n)
+        inst = random_instance(n, 3, rng)
+        opt = steiner_forest_cost(inst)
+        result = randomized_steiner_forest(inst, rng=random.Random(1))
+        result.solution.assert_feasible(inst)
+        graph = inst.graph
+        s = graph.shortest_path_diameter()
+        d = graph.unweighted_diameter()
+        k = inst.num_components
+        denom = k + min(s, math.isqrt(n)) + d
+        ratio = result.solution.weight / opt if opt else 1.0
+        rows.append(
+            (
+                n,
+                k,
+                s,
+                d,
+                result.rounds,
+                denom,
+                f"{ratio:.3f}",
+                f"{math.log2(n):.1f}",
+                result.embedding.max_paths_per_node,
+            )
+        )
+    return rows
+
+
+def test_e5_randomized(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E5: randomized algorithm — ratio vs O(log n), rounds vs "
+        "Õ(k + min{s,√n} + D)",
+        ("n", "k", "s", "D", "rounds", "k+min(s,√n)+D", "ratio",
+         "log2 n", "paths/node"),
+        rows,
+    )
+    for row in rows:
+        n, ratio, log_n = row[0], float(row[6]), float(row[7])
+        assert ratio <= 4 * log_n  # generous constant on O(log n)
+        # O(log n) embedding paths per node (paper's structural claim).
+        assert row[8] <= 12 * log_n + 4

@@ -1,0 +1,56 @@
+"""E7 — Figure 1 (left) / Lemma 3.1: the DSF-CR Set-Disjointness gadget.
+
+Instantiates the reduction for growing universes, verifies the heavy-edge
+dichotomy (a ρ-approximation uses a heavy edge iff A ∩ B ≠ ∅), and meters
+the bits an actual algorithm pushes across the 4-edge Alice–Bob cut —
+the Ω(n)-shaped quantity the reduction exploits.
+"""
+
+import random
+
+from benchmarks.conftest import print_table
+from repro.lowerbounds import (
+    cr_dichotomy_holds,
+    dsf_cr_gadget,
+    measure_cut_traffic,
+    random_disjointness_sets,
+)
+
+UNIVERSES = (4, 8, 16)
+
+
+def run_sweep():
+    rows = []
+    for universe in UNIVERSES:
+        for intersecting in (False, True):
+            rng = random.Random(universe * 2 + intersecting)
+            a, b = random_disjointness_sets(universe, rng, intersecting)
+            gadget = dsf_cr_gadget(universe, a, b)
+            ok = cr_dichotomy_holds(gadget)
+            bits = measure_cut_traffic(gadget)
+            rows.append(
+                (
+                    universe,
+                    intersecting,
+                    gadget.instance.graph.num_nodes,
+                    gadget.instance.graph.unweighted_diameter(),
+                    ok,
+                    bits,
+                )
+            )
+    return rows
+
+
+def test_e7_lb_dsfcr(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E7: DSF-CR gadget (Lemma 3.1) — dichotomy + cut traffic",
+        ("universe", "A∩B≠∅", "n", "D", "dichotomy", "cut bits"),
+        rows,
+    )
+    assert all(r[4] for r in rows)
+    assert all(r[3] <= 4 for r in rows)  # Lemma 3.1: diameter ≤ 4
+    # Cut traffic grows with the universe (Ω(n) shape).
+    small = min(r[5] for r in rows if r[0] == UNIVERSES[0])
+    large = max(r[5] for r in rows if r[0] == UNIVERSES[-1])
+    assert large > small

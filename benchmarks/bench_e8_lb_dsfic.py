@@ -1,0 +1,51 @@
+"""E8 — Figure 1 (right) / Lemma 3.3: the DSF-IC Set-Disjointness gadget.
+
+Verifies the (a₀, b₀)-bridge dichotomy and the Ω(k)-shaped cut traffic over
+the single-edge Alice–Bob cut.
+"""
+
+import random
+
+from benchmarks.conftest import print_table
+from repro.lowerbounds import (
+    dsf_ic_gadget,
+    ic_dichotomy_holds,
+    measure_cut_traffic,
+    random_disjointness_sets,
+)
+
+UNIVERSES = (4, 8, 16)
+
+
+def run_sweep():
+    rows = []
+    for universe in UNIVERSES:
+        for intersecting in (False, True):
+            rng = random.Random(3 * universe + intersecting)
+            a, b = random_disjointness_sets(universe, rng, intersecting)
+            gadget = dsf_ic_gadget(universe, a, b)
+            ok = ic_dichotomy_holds(gadget)
+            bits = measure_cut_traffic(gadget)
+            rows.append(
+                (
+                    universe,
+                    intersecting,
+                    gadget.instance.num_components,
+                    ok,
+                    bits,
+                )
+            )
+    return rows
+
+
+def test_e8_lb_dsfic(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E8: DSF-IC gadget (Lemma 3.3) — dichotomy + cut traffic",
+        ("universe", "A∩B≠∅", "k", "dichotomy", "cut bits"),
+        rows,
+    )
+    assert all(r[3] for r in rows)
+    # Ω(k) shape: traffic grows with the universe for intersecting inputs.
+    inter = [r for r in rows if r[1]]
+    assert inter[-1][4] >= inter[0][4]

@@ -1,0 +1,52 @@
+"""E9 — Lemma 3.4 / Theorem 3.2: the Ω̃(s) term at constant D.
+
+On path gadgets (t = 2, k = 1, D = 2) of growing shortest-path diameter s,
+the deterministic algorithm's round count must grow linearly with s — the
+parameter combination the lower bound shows is unavoidable.
+"""
+
+from benchmarks.conftest import print_table
+from repro.analysis import fit_power_law
+from repro.core import distributed_moat_growing
+from repro.lowerbounds import path_gadget
+
+LENGTHS = (4, 8, 16, 32)
+
+
+def run_sweep():
+    rows = []
+    for length in LENGTHS:
+        inst = path_gadget(length)
+        result = distributed_moat_growing(inst)
+        assert result.solution.weight == length
+        rows.append(
+            (
+                length,
+                inst.graph.unweighted_diameter(),
+                result.rounds,
+                f"{result.rounds / length:.2f}",
+            )
+        )
+    return rows
+
+
+def test_e9_lb_path(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E9: rounds vs s on path gadgets (D = 2, t = 2, k = 1)",
+        ("s", "D", "rounds", "rounds/s"),
+        rows,
+    )
+    # Rounds grow with s …
+    measured = [r[2] for r in rows]
+    assert measured == sorted(measured)
+    assert measured[-1] > measured[0]
+    # … and roughly linearly (bounded normalized cost).
+    normalized = [float(r[3]) for r in rows]
+    assert max(normalized) <= 8 * min(normalized)
+    # Power-law fit: the exponent sits well below quadratic and the
+    # marginal cost per unit of s is linear-ish (sub-linear exponents
+    # occur because the fixed overhead dominates at small s).
+    fit = fit_power_law([r[0] for r in rows], measured)
+    print(f"power-law fit: rounds ≈ {fit.coefficient:.1f}·s^{fit.exponent:.2f} (R²={fit.r_squared:.3f})")
+    assert 0.2 <= fit.exponent <= 1.5

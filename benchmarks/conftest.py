@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment row of EXPERIMENTS.md: it sweeps
+the experiment's parameters, prints a table (parameters, paper-claimed
+bound, measured value), asserts the *shape* of the paper's claim, and
+reports one representative timing through pytest-benchmark.
+"""
+
+import random
+
+import pytest
+
+
+def print_table(title, header, rows):
+    """Print an experiment table in EXPERIMENTS.md format."""
+    print(f"\n== {title} ==")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = " | ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture
+def seeded_rng():
+    return random.Random(0x5EED)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Walk through the Section 3 lower-bound reductions (Figure 1).
+
+Builds the DSF-CR and DSF-IC Set-Disjointness gadgets for both disjoint and
+intersecting inputs, verifies the structural dichotomies that power the
+Ω̃(t) / Ω̃(k) bounds, and meters the bits a real algorithm run pushes across
+the Alice–Bob cut.
+"""
+
+import random
+
+from repro.lowerbounds import (
+    cr_dichotomy_holds,
+    dsf_cr_gadget,
+    dsf_ic_gadget,
+    ic_dichotomy_holds,
+    measure_cut_traffic,
+    path_gadget,
+    random_disjointness_sets,
+)
+from repro.core import distributed_moat_growing
+
+
+def main():
+    rng = random.Random(314)
+    universe = 8
+
+    print("== Lemma 3.1 — DSF-CR gadget (Figure 1, left) ==")
+    for intersecting in (False, True):
+        a, b = random_disjointness_sets(universe, rng, intersecting)
+        gadget = dsf_cr_gadget(universe, a, b)
+        print(
+            f"  A∩B≠∅={intersecting}: A={sorted(a)} B={sorted(b)} | "
+            f"dichotomy holds: {cr_dichotomy_holds(gadget)} | "
+            f"cut bits: {measure_cut_traffic(gadget)}"
+        )
+
+    print("\n== Lemma 3.3 — DSF-IC gadget (Figure 1, right) ==")
+    for intersecting in (False, True):
+        a, b = random_disjointness_sets(universe, rng, intersecting)
+        gadget = dsf_ic_gadget(universe, a, b)
+        print(
+            f"  A∩B≠∅={intersecting}: k={gadget.instance.num_components} | "
+            f"dichotomy holds: {ic_dichotomy_holds(gadget)} | "
+            f"cut bits: {measure_cut_traffic(gadget)}"
+        )
+
+    print("\n== Lemma 3.4 — the s term at constant diameter ==")
+    for s in (5, 10, 20):
+        inst = path_gadget(s)
+        result = distributed_moat_growing(inst)
+        print(
+            f"  s={s:>2} D={inst.graph.unweighted_diameter()}: "
+            f"rounds={result.rounds} (grows with s, not D)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: solve one Steiner forest instance with every algorithm.
+
+Builds a small random network, places three connection demands, and runs
+the paper's deterministic and randomized algorithms plus the baselines,
+printing weight / round comparisons against the exact optimum.
+"""
+
+import random
+
+from repro.baselines import khan_steiner_forest, spanner_steiner_forest
+from repro.core import (
+    distributed_moat_growing,
+    moat_growing,
+    rounded_moat_growing,
+    sublinear_moat_growing,
+)
+from repro.exact import steiner_forest_cost
+from repro.randomized import randomized_steiner_forest
+from repro.workloads import random_instance
+
+
+def main():
+    rng = random.Random(42)
+    instance = random_instance(n=18, k=3, rng=rng, component_size=2)
+    graph = instance.graph
+    print(
+        f"instance: n={graph.num_nodes} m={graph.num_edges} "
+        f"k={instance.num_components} t={instance.num_terminals}"
+    )
+    print(
+        f"metrics:  D={graph.unweighted_diameter()} "
+        f"s={graph.shortest_path_diameter()} WD={graph.weighted_diameter()}"
+    )
+    opt = steiner_forest_cost(instance)
+    print(f"exact optimum: {opt}\n")
+
+    runs = [
+        ("Algorithm 1 (centralized, 2-approx)",
+         lambda: moat_growing(instance)),
+        ("Algorithm 2 (rounded, 2.5-approx)",
+         lambda: rounded_moat_growing(instance, 0.5)),
+        ("distributed deterministic (Thm 4.17)",
+         lambda: distributed_moat_growing(instance)),
+        ("sublinear deterministic (Cor 4.21)",
+         lambda: sublinear_moat_growing(instance, 0.5)),
+        ("randomized (Thm 5.2)",
+         lambda: randomized_steiner_forest(instance, rng=random.Random(1))),
+        ("Khan et al. [14] baseline",
+         lambda: khan_steiner_forest(instance, rng=random.Random(1))),
+        ("spanner [17] baseline",
+         lambda: spanner_steiner_forest(instance)),
+    ]
+    header = f"{'algorithm':42s} {'weight':>7s} {'ratio':>6s} {'rounds':>7s}"
+    print(header)
+    print("-" * len(header))
+    for name, solve in runs:
+        result = solve()
+        weight = result.solution.weight
+        rounds = getattr(result, "rounds", "-")
+        print(
+            f"{name:42s} {weight:7d} {weight / opt:6.3f} {rounds!s:>7s}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro — a reproduction of "Improved Distributed Steiner Forest
+Construction" (Lenzen & Patt-Shamir, PODC 2014).
+
+The library implements the paper's algorithms on a CONGEST-model simulator:
+
+* the deterministic (2+ε)-approximation by distributed moat growing
+  (:func:`repro.core.distributed_moat_growing`,
+  :func:`repro.core.sublinear_moat_growing`),
+* the randomized O(log n)-approximation in Õ(k + min{s, √n} + D) rounds
+  (:func:`repro.randomized.randomized_steiner_forest`),
+* the baselines it improves upon (:mod:`repro.baselines`),
+* the Section 3 lower-bound gadgets (:mod:`repro.lowerbounds`),
+* exact reference solvers for ratio measurements (:mod:`repro.exact`).
+
+Quickstart::
+
+    import random
+    from repro.workloads import random_instance
+    from repro.core import distributed_moat_growing
+
+    instance = random_instance(n=30, k=3, rng=random.Random(0))
+    result = distributed_moat_growing(instance)
+    print(result.solution.weight, result.rounds)
+"""
+
+from repro.model import (
+    Ball,
+    ConnectionRequestInstance,
+    ForestSolution,
+    SteinerForestInstance,
+    WeightedGraph,
+)
+from repro.congest import CongestRun
+from repro.core import (
+    distributed_moat_growing,
+    fast_pruning,
+    moat_growing,
+    rounded_moat_growing,
+    sublinear_moat_growing,
+)
+from repro.randomized import randomized_steiner_forest
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "WeightedGraph",
+    "SteinerForestInstance",
+    "ConnectionRequestInstance",
+    "ForestSolution",
+    "Ball",
+    "CongestRun",
+    "moat_growing",
+    "rounded_moat_growing",
+    "distributed_moat_growing",
+    "sublinear_moat_growing",
+    "fast_pruning",
+    "randomized_steiner_forest",
+    "__version__",
+]

@@ -1,0 +1,15 @@
+"""Experiment analysis utilities: scaling fits and ratio summaries."""
+
+from repro.analysis.scaling import (
+    RatioSummary,
+    fit_power_law,
+    normalized_cost,
+    summarize_ratios,
+)
+
+__all__ = [
+    "fit_power_law",
+    "normalized_cost",
+    "RatioSummary",
+    "summarize_ratios",
+]

@@ -1,0 +1,76 @@
+"""Scaling fits and approximation-ratio statistics for experiments.
+
+The reproduction validates *shapes* — "rounds grow linearly in s", "the
+ratio stays under 2" — so the benchmark harness needs small statistical
+helpers: a log-log power-law fit (the exponent distinguishes O(s) from
+O(s²) sweeps), normalized-cost series (measured / claimed-bound), and
+ratio summaries.
+"""
+
+import math
+from typing import List, NamedTuple, Sequence, Tuple
+
+import numpy as np
+
+
+class PowerLawFit(NamedTuple):
+    """y ≈ coefficient · x^exponent, fit in log-log space."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+
+def fit_power_law(
+    xs: Sequence[float], ys: Sequence[float]
+) -> PowerLawFit:
+    """Least-squares fit of y = c·x^a on positive data.
+
+    The exponent is the quantity experiments assert on: a sweep whose
+    measured rounds scale linearly with the parameter fits a ≈ 1.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits need positive data")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(log_x, log_y, 1)
+    predicted = slope * log_x + intercept
+    residual = float(np.sum((log_y - predicted) ** 2))
+    total = float(np.sum((log_y - np.mean(log_y)) ** 2))
+    r_squared = 1.0 if total == 0 else 1.0 - residual / total
+    return PowerLawFit(float(slope), float(math.exp(intercept)), r_squared)
+
+
+def normalized_cost(
+    measured: Sequence[float], bound: Sequence[float]
+) -> List[float]:
+    """Element-wise measured/bound — bounded series certify the shape."""
+    if len(measured) != len(bound):
+        raise ValueError("series lengths differ")
+    return [m / max(1e-12, b) for m, b in zip(measured, bound)]
+
+
+class RatioSummary(NamedTuple):
+    count: int
+    mean: float
+    maximum: float
+    minimum: float
+
+    def within(self, bound: float) -> bool:
+        """Whether every observed ratio respects ``bound``."""
+        return self.maximum <= bound
+
+
+def summarize_ratios(ratios: Sequence[float]) -> RatioSummary:
+    """Summary statistics for a series of approximation ratios."""
+    if not ratios:
+        raise ValueError("no ratios to summarize")
+    values = list(map(float, ratios))
+    return RatioSummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        maximum=max(values),
+        minimum=min(values),
+    )

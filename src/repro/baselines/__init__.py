@@ -1,0 +1,26 @@
+"""Baseline algorithms the paper compares against or builds upon.
+
+* :mod:`repro.baselines.khan` — Khan et al. [14]: random tree embedding with
+  naive (non-pipelined) path selection, O(log n)-approximate in Õ(sk)
+  rounds.
+* :mod:`repro.baselines.spanner` — the [17]-style algorithm: collect the
+  terminal metric, build a sparse spanner centrally, solve on the spanner,
+  map back; O(log n)-approximate in Õ(√n + t + D) rounds. Used as the
+  second-stage solver of the randomized algorithm (Lemma G.15).
+* :mod:`repro.baselines.mst` — minimum spanning tree references for the
+  k = 1, t = n special case (Section 1: the deterministic algorithm then
+  outputs an exact MST).
+"""
+
+from repro.baselines.khan import KhanResult, khan_steiner_forest
+from repro.baselines.spanner import SpannerResult, spanner_steiner_forest
+from repro.baselines.mst import exact_mst_edges, exact_mst_weight
+
+__all__ = [
+    "KhanResult",
+    "khan_steiner_forest",
+    "SpannerResult",
+    "spanner_steiner_forest",
+    "exact_mst_edges",
+    "exact_mst_weight",
+]

@@ -1,0 +1,64 @@
+"""Khan et al. [14] baseline: tree embedding + naive path selection.
+
+The first distributed Steiner forest algorithm: embed the graph into a
+random virtual tree (O(log n) expected stretch), select the minimal
+subtrees per input component, and map virtual edges back to graph paths.
+Without the per-destination pipelining of Section 5, congestion forces the
+selection to run in Õ(sk) rounds — the quantity experiment E6 contrasts
+with the improved algorithm's Õ(s + k).
+
+Implementation shares the embedding and selection machinery of
+:mod:`repro.randomized` with ``naive=True`` (one message per node per
+round) and never truncates the tree.
+"""
+
+import random
+from typing import Optional
+
+from repro.congest.run import CongestRun
+from repro.model.instance import SteinerForestInstance
+from repro.model.solution import ForestSolution
+from repro.randomized.embedding import VirtualTreeEmbedding, build_embedding
+from repro.randomized.selection import FirstStageResult, first_stage_selection
+
+
+class KhanResult:
+    """Outcome of the [14] baseline."""
+
+    def __init__(
+        self,
+        solution: ForestSolution,
+        run: CongestRun,
+        embedding: VirtualTreeEmbedding,
+        first_stage: FirstStageResult,
+    ) -> None:
+        self.solution = solution
+        self.run = run
+        self.embedding = embedding
+        self.first_stage = first_stage
+
+    @property
+    def rounds(self) -> int:
+        return self.run.rounds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KhanResult(W={self.solution.weight}, rounds={self.rounds})"
+
+
+def khan_steiner_forest(
+    instance: SteinerForestInstance,
+    rng: Optional[random.Random] = None,
+    run: Optional[CongestRun] = None,
+) -> KhanResult:
+    """Solve DSF-IC with the Õ(sk)-round algorithm of Khan et al. [14]."""
+    graph = instance.graph
+    if rng is None:
+        rng = random.Random(0xBEEF)
+    if run is None:
+        run = CongestRun(graph)
+    run.set_phase("khan")
+    embedding = build_embedding(graph, run, rng, truncate_at=None)
+    stage = first_stage_selection(instance, embedding, run, naive=True)
+    solution = ForestSolution(graph, stage.edges)
+    solution.assert_feasible(instance)
+    return KhanResult(solution, run, embedding, stage)

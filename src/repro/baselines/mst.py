@@ -1,0 +1,37 @@
+"""Minimum spanning tree references (the k = 1, t = n special case).
+
+Section 1 notes that the deterministic moat-growing algorithm generalizes
+the MST algorithms of [11, 16]: on the instance where every node is a
+terminal of one component, the output is an exact MST and the running time
+becomes Õ(√n + D). These helpers provide the exact MST for that comparison
+(experiment E10).
+"""
+
+from typing import FrozenSet
+
+from repro.model.graph import Edge, WeightedGraph, canonical_edge
+from repro.model.instance import SteinerForestInstance
+from repro.util import UnionFind
+
+
+def exact_mst_edges(graph: WeightedGraph) -> FrozenSet[Edge]:
+    """Kruskal's MST with the library's deterministic tie-breaking."""
+    uf = UnionFind(graph.nodes)
+    edges = set()
+    for u, v, w in sorted(
+        graph.edges(), key=lambda e: (e[2], repr((e[0], e[1])))
+    ):
+        if uf.union(u, v):
+            edges.add(canonical_edge(u, v))
+    return frozenset(edges)
+
+
+def exact_mst_weight(graph: WeightedGraph) -> int:
+    """Weight of a minimum spanning tree."""
+    return graph.edge_weight_sum(exact_mst_edges(graph))
+
+
+def mst_instance(graph: WeightedGraph) -> SteinerForestInstance:
+    """The DSF-IC instance whose solutions are spanning trees: every node a
+    terminal of one shared component."""
+    return SteinerForestInstance(graph, {v: 0 for v in graph.nodes})

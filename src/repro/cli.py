@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``solve`` — generate a seeded random instance and solve it with a chosen
+  algorithm, printing weight / rounds / ratio.
+* ``compare`` — run every algorithm on one instance and print the table.
+* ``gadget`` — build a Figure 1 lower-bound gadget and report the
+  dichotomy and cut traffic.
+
+The CLI exists for quick exploration; experiments proper live in
+``benchmarks/``.
+"""
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.baselines import khan_steiner_forest, spanner_steiner_forest
+from repro.core import (
+    distributed_moat_growing,
+    moat_growing,
+    rounded_moat_growing,
+    sublinear_moat_growing,
+)
+from repro.exact import steiner_forest_cost
+from repro.lowerbounds import (
+    cr_dichotomy_holds,
+    dsf_cr_gadget,
+    dsf_ic_gadget,
+    ic_dichotomy_holds,
+    measure_cut_traffic,
+    random_disjointness_sets,
+)
+from repro.randomized import randomized_steiner_forest
+from repro.workloads import random_instance
+
+ALGORITHMS = {
+    "moat": lambda inst, rng: moat_growing(inst),
+    "rounded": lambda inst, rng: rounded_moat_growing(inst, 0.5),
+    "distributed": lambda inst, rng: distributed_moat_growing(inst),
+    "sublinear": lambda inst, rng: sublinear_moat_growing(inst, 0.5),
+    "randomized": lambda inst, rng: randomized_steiner_forest(inst, rng=rng),
+    "khan": lambda inst, rng: khan_steiner_forest(inst, rng=rng),
+    "spanner": lambda inst, rng: spanner_steiner_forest(inst),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed Steiner forest (Lenzen & Patt-Shamir, "
+        "PODC 2014) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="solve one random instance")
+    solve.add_argument("--n", type=int, default=20, help="number of nodes")
+    solve.add_argument("--k", type=int, default=3, help="input components")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="distributed"
+    )
+    solve.add_argument(
+        "--exact",
+        action="store_true",
+        help="also compute the exact optimum (exponential time)",
+    )
+
+    compare = sub.add_parser("compare", help="run all algorithms")
+    compare.add_argument("--n", type=int, default=18)
+    compare.add_argument("--k", type=int, default=3)
+    compare.add_argument("--seed", type=int, default=0)
+
+    gadget = sub.add_parser("gadget", help="build a Figure 1 gadget")
+    gadget.add_argument("--kind", choices=("cr", "ic"), default="ic")
+    gadget.add_argument("--universe", type=int, default=8)
+    gadget.add_argument("--seed", type=int, default=0)
+    gadget.add_argument(
+        "--intersecting", action="store_true",
+        help="force A ∩ B ≠ ∅",
+    )
+    return parser
+
+
+def _cmd_solve(args) -> int:
+    rng = random.Random(args.seed)
+    inst = random_instance(args.n, args.k, rng)
+    result = ALGORITHMS[args.algorithm](inst, random.Random(args.seed))
+    result.solution.assert_feasible(inst)
+    rounds = getattr(result, "rounds", None)
+    print(f"algorithm : {args.algorithm}")
+    print(f"instance  : n={args.n} k={args.k} seed={args.seed}")
+    print(f"weight    : {result.solution.weight}")
+    if rounds is not None:
+        print(f"rounds    : {rounds}")
+    if args.exact:
+        opt = steiner_forest_cost(inst)
+        ratio = result.solution.weight / opt if opt else 1.0
+        print(f"optimum   : {opt}")
+        print(f"ratio     : {ratio:.3f}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    rng = random.Random(args.seed)
+    inst = random_instance(args.n, args.k, rng)
+    opt = steiner_forest_cost(inst)
+    print(f"instance n={args.n} k={args.k} seed={args.seed} OPT={opt}")
+    print(f"{'algorithm':12s} {'weight':>7s} {'ratio':>7s} {'rounds':>7s}")
+    for name in sorted(ALGORITHMS):
+        result = ALGORITHMS[name](inst, random.Random(args.seed))
+        weight = result.solution.weight
+        rounds = getattr(result, "rounds", "-")
+        ratio = weight / opt if opt else 1.0
+        print(f"{name:12s} {weight:7d} {ratio:7.3f} {rounds!s:>7s}")
+    return 0
+
+
+def _cmd_gadget(args) -> int:
+    rng = random.Random(args.seed)
+    a, b = random_disjointness_sets(args.universe, rng, args.intersecting)
+    if args.kind == "cr":
+        gadget = dsf_cr_gadget(args.universe, a, b)
+        ok = cr_dichotomy_holds(gadget)
+    else:
+        gadget = dsf_ic_gadget(args.universe, a, b)
+        ok = ic_dichotomy_holds(gadget)
+    bits = measure_cut_traffic(gadget)
+    print(f"gadget    : DSF-{args.kind.upper()} (Figure 1)")
+    print(f"universe  : {args.universe}  A={sorted(a)}  B={sorted(b)}")
+    print(f"A∩B≠∅     : {gadget.intersecting}")
+    print(f"dichotomy : {'holds' if ok else 'VIOLATED'}")
+    print(f"cut bits  : {bits}")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "compare": _cmd_compare,
+        "gadget": _cmd_gadget,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""CONGEST-model execution substrate.
+
+The paper's algorithms are stated for the CONGEST(log n) model (Section 2):
+synchronous rounds; per round each node may send one O(log n)-bit message to
+each neighbor. This package provides
+
+* :class:`~repro.congest.run.CongestRun` — the round/message ledger every
+  primitive charges against; it enforces the per-edge bandwidth budget and
+  records per-edge traffic (used by the lower-bound harness to meter the
+  Alice–Bob cut),
+* message-level communication primitives used as building blocks by all
+  algorithms: BFS-tree construction, (pipelined) broadcast and convergecast
+  over a tree, pipelined filtered upcast (the Kruskal-style candidate-merge
+  collection of Lemma 4.14), and distributed Bellman–Ford (Lemma 4.8).
+
+Round counts reported by the library are the number of simulated rounds these
+primitives actually execute, so the complexity experiments measure the model
+quantity the paper's theorems bound.
+"""
+
+from repro.congest.run import CongestRun
+from repro.congest.bfs import BFSTree, build_bfs_tree
+from repro.congest.broadcast import (
+    broadcast_items,
+    convergecast_aggregate,
+    upcast_items,
+)
+from repro.congest.bellman_ford import BellmanFordResult, bellman_ford
+from repro.congest.pipeline import MergeItem, pipelined_filtered_upcast
+from repro.congest.transforms import (
+    distributed_minimalize,
+    distributed_requests_to_components,
+)
+from repro.congest.simulator import (
+    Context,
+    EchoBroadcast,
+    FloodMaxLeaderElection,
+    NodeProgram,
+    Simulator,
+)
+
+__all__ = [
+    "CongestRun",
+    "BFSTree",
+    "build_bfs_tree",
+    "broadcast_items",
+    "convergecast_aggregate",
+    "upcast_items",
+    "BellmanFordResult",
+    "bellman_ford",
+    "MergeItem",
+    "pipelined_filtered_upcast",
+    "distributed_requests_to_components",
+    "distributed_minimalize",
+    "Simulator",
+    "NodeProgram",
+    "Context",
+    "FloodMaxLeaderElection",
+    "EchoBroadcast",
+]

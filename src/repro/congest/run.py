@@ -1,0 +1,140 @@
+"""The round/message ledger for CONGEST executions.
+
+Every communication primitive charges rounds and per-edge messages against a
+:class:`CongestRun`. A message models one O(log n)-bit CONGEST message; the
+ledger enforces that no primitive sends more than one message per edge
+direction per round (raising :class:`CongestViolationError` otherwise) and
+keeps per-edge traffic counters so experiments can meter the traffic across a
+graph cut (the Alice–Bob cut of the Section 3 lower-bound gadgets).
+"""
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.exceptions import CongestViolationError, SimulationError
+from repro.model.graph import Edge, Node, WeightedGraph, canonical_edge
+
+#: A directed message count: (sender, receiver) -> number of messages.
+DirectedTraffic = Mapping[Tuple[Node, Node], int]
+
+
+class CongestRun:
+    """Accumulates rounds, messages and per-edge traffic for one execution.
+
+    Args:
+        graph: the network the algorithm runs on.
+        bandwidth_bits: message size B in bits; defaults to ⌈log₂ n⌉ · 4,
+            a concrete stand-in for the model's c·log n bound (identifiers,
+            weights, and labels each fit in O(log n) bits).
+        max_rounds: safety limit; exceeding it raises SimulationError,
+            which usually indicates a non-terminating algorithm.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        bandwidth_bits: Optional[int] = None,
+        max_rounds: int = 10_000_000,
+    ) -> None:
+        self.graph = graph
+        if bandwidth_bits is None:
+            bandwidth_bits = 4 * max(1, math.ceil(math.log2(max(2, graph.num_nodes))))
+        self.bandwidth_bits = bandwidth_bits
+        self.max_rounds = max_rounds
+        self.rounds = 0
+        self.messages = 0
+        self.edge_messages: Counter = Counter()
+        self.phase_rounds: Dict[str, int] = {}
+        self._phase: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Phases (for per-step round breakdowns in experiments)
+    # ------------------------------------------------------------------
+
+    def set_phase(self, name: Optional[str]) -> None:
+        """Attribute subsequently charged rounds to ``name``."""
+        self._phase = name
+
+    def _attribute(self, rounds: int) -> None:
+        if self._phase is not None:
+            self.phase_rounds[self._phase] = (
+                self.phase_rounds.get(self._phase, 0) + rounds
+            )
+
+    # ------------------------------------------------------------------
+    # Charging
+    # ------------------------------------------------------------------
+
+    def tick(self, traffic: Optional[DirectedTraffic] = None) -> None:
+        """Advance one synchronous round, delivering ``traffic`` messages.
+
+        ``traffic`` maps directed node pairs (sender, receiver) to message
+        counts; each count must be ≤ 1 per the CONGEST model, and the pair
+        must be an edge of the graph.
+        """
+        self.rounds += 1
+        self._attribute(1)
+        if self.rounds > self.max_rounds:
+            raise SimulationError(
+                f"exceeded max_rounds={self.max_rounds}; "
+                "the algorithm appears not to terminate"
+            )
+        if traffic:
+            for (sender, receiver), count in traffic.items():
+                if count == 0:
+                    continue
+                if not self.graph.has_edge(sender, receiver):
+                    raise CongestViolationError(
+                        f"message over non-edge ({sender!r}, {receiver!r})"
+                    )
+                if count > 1:
+                    raise CongestViolationError(
+                        f"{count} messages from {sender!r} to {receiver!r} "
+                        "in one round (CONGEST allows 1)"
+                    )
+                self.messages += count
+                self.edge_messages[canonical_edge(sender, receiver)] += count
+
+    def charge_rounds(self, rounds: int, reason: str = "") -> None:
+        """Analytically charge ``rounds`` rounds without per-edge traffic.
+
+        Used for steps whose congestion-freeness the paper proves but whose
+        message-level simulation would be redundant (e.g. time-multiplexing
+        O(log n) independent executions: we simulate each execution and
+        multiply the rounds here). The ``reason`` documents the charge.
+        """
+        if rounds < 0:
+            raise ValueError("cannot charge negative rounds")
+        self.rounds += rounds
+        self._attribute(rounds)
+        if self.rounds > self.max_rounds:
+            raise SimulationError(
+                f"exceeded max_rounds={self.max_rounds} while charging "
+                f"{rounds} rounds ({reason})"
+            )
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def bits(self) -> int:
+        """Total bits sent, counting each message at the full budget B."""
+        return self.messages * self.bandwidth_bits
+
+    def cut_messages(self, cut_edges: Iterable[Edge]) -> int:
+        """Messages that crossed the given edge cut."""
+        return sum(
+            self.edge_messages[canonical_edge(u, v)] for u, v in cut_edges
+        )
+
+    def cut_bits(self, cut_edges: Iterable[Edge]) -> int:
+        """Bits that crossed the given edge cut (messages × B)."""
+        return self.cut_messages(cut_edges) * self.bandwidth_bits
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CongestRun(rounds={self.rounds}, messages={self.messages}, "
+            f"B={self.bandwidth_bits})"
+        )

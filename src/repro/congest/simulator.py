@@ -1,0 +1,221 @@
+"""Generic event-driven CONGEST simulator (node programs).
+
+The primitives in this package simulate specific protocols; this module
+provides the general substrate: every node runs a :class:`NodeProgram`,
+rounds proceed synchronously, and per edge and direction at most one
+B-bit message is delivered per round (Section 2's model). It is used for
+self-contained protocols (leader election, echo) and by downstream users
+who want to prototype their own CONGEST algorithms against the same
+ledger/accounting as the paper's algorithms.
+
+Example::
+
+    class Flood(NodeProgram):
+        def on_start(self, ctx):
+            self.best = ctx.node_id
+            for v in ctx.neighbors:
+                ctx.send(v, self.best)
+
+        def on_round(self, ctx, inbox):
+            improved = False
+            for _, value in inbox:
+                if value > self.best:
+                    self.best = value
+                    improved = True
+            if improved:
+                for v in ctx.neighbors:
+                    ctx.send(v, self.best)
+            else:
+                ctx.halt()
+"""
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.congest.run import CongestRun
+from repro.exceptions import CongestViolationError, SimulationError
+from repro.model.graph import Node, WeightedGraph
+
+
+class Context:
+    """Per-node view handed to a NodeProgram each round."""
+
+    def __init__(self, simulator: "Simulator", node: Node) -> None:
+        self._simulator = simulator
+        self.node_id = node
+        self.neighbors = simulator.graph.neighbors(node)
+        self.round = 0
+
+    def edge_weight(self, neighbor: Node) -> int:
+        """Weight of the incident edge to ``neighbor``."""
+        return self._simulator.graph.weight(self.node_id, neighbor)
+
+    def send(self, neighbor: Node, payload: Any) -> None:
+        """Queue one message for delivery next round (≤ 1 per neighbor)."""
+        self._simulator._queue_message(self.node_id, neighbor, payload)
+
+    def halt(self) -> None:
+        """Mark this node as explicitly terminated (Section 2's notion of
+        termination; a halted node no longer receives on_round calls)."""
+        self._simulator._halt(self.node_id)
+
+
+class NodeProgram:
+    """Base class for per-node protocol logic. Subclasses override
+    :meth:`on_start` and :meth:`on_round`."""
+
+    def on_start(self, ctx: Context) -> None:
+        """Round-0 initialization; may send messages."""
+
+    def on_round(self, ctx: Context, inbox: List[Tuple[Node, Any]]) -> None:
+        """Process the messages received this round ((sender, payload)
+        pairs, deterministic order) and optionally send new ones."""
+        raise NotImplementedError
+
+
+class Simulator:
+    """Synchronous executor for a NodeProgram per node.
+
+    The simulator shares its :class:`CongestRun` ledger with the rest of
+    the library, so node-program executions and primitive executions
+    compose into one round count.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        programs: Dict[Node, NodeProgram],
+        run: Optional[CongestRun] = None,
+    ) -> None:
+        if set(programs) != set(graph.nodes):
+            raise SimulationError("every node needs exactly one program")
+        self.graph = graph
+        self.programs = programs
+        self.run = run if run is not None else CongestRun(graph)
+        self.contexts = {v: Context(self, v) for v in graph.nodes}
+        self._outbox: Dict[Tuple[Node, Node], Any] = {}
+        self._halted: set = set()
+
+    # -- internal hooks used by Context --------------------------------
+
+    def _queue_message(self, sender: Node, receiver: Node, payload: Any) -> None:
+        if not self.graph.has_edge(sender, receiver):
+            raise CongestViolationError(
+                f"{sender!r} cannot reach non-neighbor {receiver!r}"
+            )
+        key = (sender, receiver)
+        if key in self._outbox:
+            raise CongestViolationError(
+                f"{sender!r} already sent to {receiver!r} this round"
+            )
+        self._outbox[key] = payload
+
+    def _halt(self, node: Node) -> None:
+        self._halted.add(node)
+
+    # -- execution -------------------------------------------------------
+
+    @property
+    def all_halted(self) -> bool:
+        return len(self._halted) == len(self.graph.nodes)
+
+    def start(self) -> None:
+        """Run every program's on_start (round 0, local only)."""
+        for v in self.graph.nodes:
+            self.programs[v].on_start(self.contexts[v])
+
+    def step(self) -> bool:
+        """Execute one synchronous round; returns False when quiescent
+        (no messages in flight and/or all nodes halted)."""
+        if not self._outbox or self.all_halted:
+            return False
+        traffic = {key: 1 for key in self._outbox}
+        self.run.tick(traffic)
+        inboxes: Dict[Node, List[Tuple[Node, Any]]] = {}
+        for (sender, receiver), payload in sorted(
+            self._outbox.items(), key=repr
+        ):
+            inboxes.setdefault(receiver, []).append((sender, payload))
+        self._outbox = {}
+        for v in self.graph.nodes:
+            if v in self._halted:
+                continue
+            ctx = self.contexts[v]
+            ctx.round += 1
+            self.programs[v].on_round(ctx, inboxes.get(v, []))
+        return True
+
+    def run_to_completion(self, max_rounds: int = 100_000) -> int:
+        """start() + step() until quiescence; returns rounds executed."""
+        self.start()
+        rounds = 0
+        while self.step():
+            rounds += 1
+            if rounds > max_rounds:
+                raise SimulationError(
+                    f"node programs did not quiesce in {max_rounds} rounds"
+                )
+        return rounds
+
+
+class FloodMaxLeaderElection(NodeProgram):
+    """Classic flooding leader election: everyone learns the max ID.
+
+    A node re-floods only on improvement; the execution quiesces (no
+    messages in flight) within eccentricity-many rounds, which ends the
+    run — nodes never halt explicitly, since a halted node would miss a
+    late-arriving wave. The winner is stored in ``leader``.
+    """
+
+    def __init__(self) -> None:
+        self.leader: Optional[Node] = None
+
+    def on_start(self, ctx: Context) -> None:
+        self.leader = ctx.node_id
+        for v in ctx.neighbors:
+            ctx.send(v, self.leader)
+
+    def on_round(self, ctx: Context, inbox: List[Tuple[Node, Any]]) -> None:
+        improved = False
+        for _, candidate in inbox:
+            if repr(candidate) > repr(self.leader):
+                self.leader = candidate
+                improved = True
+        if improved:
+            for v in ctx.neighbors:
+                ctx.send(v, self.leader)
+
+
+class EchoBroadcast(NodeProgram):
+    """Broadcast-with-acknowledgement (PIF) from a designated root."""
+
+    def __init__(self, root: Node) -> None:
+        self.root = root
+        self.parent: Optional[Node] = None
+        self.informed = False
+        self.done = False
+        self._pending: set = set()
+
+    def on_start(self, ctx: Context) -> None:
+        if ctx.node_id == self.root:
+            self.informed = True
+            self._pending = set(ctx.neighbors)
+            for v in ctx.neighbors:
+                ctx.send(v, "wave")
+
+    def on_round(self, ctx: Context, inbox: List[Tuple[Node, Any]]) -> None:
+        for sender, payload in inbox:
+            if payload == "wave" and not self.informed:
+                self.informed = True
+                self.parent = sender
+                self._pending = {
+                    v for v in ctx.neighbors if v != sender
+                }
+                for v in self._pending:
+                    ctx.send(v, "wave")
+            elif payload in ("wave", "echo"):
+                self._pending.discard(sender)
+        if self.informed and not self._pending and not self.done:
+            self.done = True
+            if self.parent is not None:
+                ctx.send(self.parent, "echo")
+            ctx.halt()

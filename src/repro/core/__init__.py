@@ -1,0 +1,32 @@
+"""The paper's primary contribution: moat-growing Steiner forest algorithms.
+
+* :mod:`repro.core.moat` — the centralized moat-growing Algorithm 1
+  (2-approximation, Theorem 4.1) and its event/merge bookkeeping.
+* :mod:`repro.core.rounded` — Algorithm 2 with rounded moat radii
+  ((2+ε)-approximation, Theorem 4.2) and O(log n/ε) growth phases.
+* :mod:`repro.core.distributed` — the distributed emulation of Section 4.1
+  (O(ks + t) rounds, Theorem 4.17).
+* :mod:`repro.core.sublinear` — the Section 4.2 variant with small/large
+  moats (Õ(sk + √min{st,n}) rounds before pruning, Corollary 4.20).
+* :mod:`repro.core.pruning` — the fast pruning routine of Appendix F.3.
+* :mod:`repro.core.matching` — deterministic matching on moat proposal
+  graphs via Cole–Vishkin colour reduction.
+"""
+
+from repro.core.moat import MoatGrowingResult, moat_growing
+from repro.core.rounded import rounded_moat_growing
+from repro.core.distributed import DistributedResult, distributed_moat_growing
+from repro.core.sublinear import SublinearResult, sublinear_moat_growing
+from repro.core.pruning import PruningResult, fast_pruning
+
+__all__ = [
+    "MoatGrowingResult",
+    "moat_growing",
+    "rounded_moat_growing",
+    "DistributedResult",
+    "distributed_moat_growing",
+    "SublinearResult",
+    "sublinear_moat_growing",
+    "PruningResult",
+    "fast_pruning",
+]

@@ -1,0 +1,104 @@
+"""Deterministic matching on moat-proposal graphs (Cole–Vishkin [6]).
+
+Step 3b of the Section 4.2 algorithm lets every *small* moat propose its
+least-weight outgoing candidate merge. The proposal graph (one out-edge per
+small moat) is a pseudo-forest; the paper 3-colours it by simulating the
+Cole–Vishkin deterministic coin-tossing colour reduction in O(log* n)
+iterations, then extracts a maximal matching from the colouring, so merge
+chains have constant length.
+
+This module implements the colour reduction and the matching extraction on
+explicit proposal graphs; the caller charges the simulated communication
+(each Cole–Vishkin iteration costs O(σ + s) rounds when routed through moat
+spanning trees, Lemma F.4).
+"""
+
+from typing import Dict, Hashable, List, Optional, Set, Tuple
+
+Vertex = Hashable
+
+
+def _bit_length_reduce(
+    colors: Dict[Vertex, int], successor: Dict[Vertex, Optional[Vertex]]
+) -> Dict[Vertex, int]:
+    """One Cole–Vishkin iteration: c ← 2i + bit_i(c), where i is the lowest
+    bit position in which c differs from the successor's colour."""
+    new_colors: Dict[Vertex, int] = {}
+    for v, c in colors.items():
+        succ = successor.get(v)
+        if succ is None or succ == v:
+            # Roots recolour against a virtual successor of colour c ^ 1 so
+            # that they always find a differing bit (bit 0).
+            succ_color = c ^ 1
+        else:
+            succ_color = colors[succ]
+        diff = c ^ succ_color
+        i = (diff & -diff).bit_length() - 1
+        new_colors[v] = 2 * i + ((c >> i) & 1)
+    return new_colors
+
+
+def cole_vishkin_coloring(
+    successor: Dict[Vertex, Optional[Vertex]],
+) -> Tuple[Dict[Vertex, int], int]:
+    """Colour a pseudo-forest with O(1) colours deterministically.
+
+    Args:
+        successor: each vertex's unique out-neighbor (None for roots).
+
+    Returns (colors, iterations): a colouring from {0..5} that is proper
+    along successor edges, reached after O(log* n) reduction iterations.
+    (The paper reduces further to 3 colours; any O(1) palette yields the
+    same O(log* n)-round matching, and 6 avoids the shift-down machinery
+    that requires bounded degree.)
+    """
+    vertices = sorted(successor, key=repr)
+    colors = {v: i for i, v in enumerate(vertices)}
+    iterations = 0
+    # Reduce until colours fit in {0..5} (2i + bit with i ≤ 2).
+    while max(colors.values(), default=0) > 5:
+        colors = _bit_length_reduce(colors, successor)
+        iterations += 1
+        if iterations > 64:  # log* of anything practical is tiny
+            raise RuntimeError("Cole-Vishkin failed to converge")
+    return colors, iterations
+
+
+def maximal_matching_from_proposals(
+    proposal: Dict[Vertex, Vertex],
+) -> Tuple[Set[Tuple[Vertex, Vertex]], int]:
+    """A maximal matching on the proposal pseudo-forest (paper Step 3bii).
+
+    Args:
+        proposal: small moat → the moat it proposes to merge with. Only
+            proposals between two *proposing* vertices form the matching
+            graph F'_C; the caller re-adds proposals of unmatched vertices
+            afterwards (Step 3biii).
+
+    Returns (matching, iterations): matched unordered pairs, plus the number
+    of simulated colour/matching iterations (for round accounting).
+    """
+    successor: Dict[Vertex, Optional[Vertex]] = {}
+    for v, target in proposal.items():
+        successor[v] = target if target in proposal else None
+    colors, iterations = cole_vishkin_coloring(successor)
+
+    matched: Set[Vertex] = set()
+    matching: Set[Tuple[Vertex, Vertex]] = set()
+    # Colour classes take turns claiming their proposal edge; a vertex may
+    # match only if both endpoints are still free. O(1) more simulated
+    # rounds (one per colour).
+    for color in range(6):
+        iterations += 1
+        for v in sorted(proposal, key=repr):
+            if colors[v] != color or v in matched:
+                continue
+            target = proposal[v]
+            if target in proposal and target not in matched:
+                matched.add(v)
+                matched.add(target)
+                pair = (
+                    (v, target) if repr(v) <= repr(target) else (target, v)
+                )
+                matching.add(pair)
+    return matching, iterations

@@ -1,0 +1,317 @@
+"""Centralized moat growing — Algorithm 1 of the paper (Appendix C).
+
+All terminals grow *moats* (weighted balls) around themselves at unit rate.
+When two moats touch, growth pauses, the edges of a least-weight path
+connecting two terminals of the touching moats are emitted (cycle-closing
+edges dropped), and the moats merge. A merged moat stays *active* while some
+input component is split between it and the rest of the graph; once a moat
+contains all terminals of every label it touches, it goes inactive and stops
+growing. The minimal feasible subforest of the emitted edges is a
+2-approximation (Theorem 4.1).
+
+The implementation works directly with terminal-to-terminal distances: moats
+of active terminals ``v, w`` in different moats touch after additional growth
+
+    µ = (wd(v, w) − rad(v) − rad(w)) / 2          (both active)
+    µ =  wd(v, w) − rad(v) − rad(w)               (exactly one active)
+
+so each iteration picks the globally minimal event (ties broken by terminal
+identifiers, the paper's lexicographic convention). Radii are
+:class:`~fractions.Fraction`s since active–active events are half-integral.
+
+Besides the forest the run records a *dual lower bound* Σᵢ actᵢ·µᵢ which, by
+Lemma C.4, is a certified lower bound on the optimum — the test-suite and
+benchmarks use it to verify the 2-approximation without exact solvers.
+"""
+
+from fractions import Fraction
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.model.graph import Edge, Node, WeightedGraph, canonical_edge
+from repro.model.instance import SteinerForestInstance
+from repro.model.solution import ForestSolution
+from repro.util import UnionFind
+
+
+class MergeEvent:
+    """One merge step of Algorithm 1/2.
+
+    Attributes:
+        index: 1-based merge index ``i``.
+        mu: the growth increment µᵢ of this step.
+        v, w: the terminals whose moats merged (None for Algorithm 2's
+            growth-phase checkpoints, which merge nothing).
+        path: node sequence of the selected least-weight path (empty for
+            checkpoints).
+        added_edges: path edges actually added (cycle-closers dropped).
+        active_moats: number of active moats *during* the step (actᵢ).
+        phase_boundary: True when some terminal's activity status changed
+            at the end of this step — the merge-phase boundaries of
+            Definition 4.3.
+    """
+
+    __slots__ = (
+        "index",
+        "mu",
+        "v",
+        "w",
+        "path",
+        "added_edges",
+        "active_moats",
+        "phase_boundary",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        mu: Fraction,
+        v: Optional[Node],
+        w: Optional[Node],
+        path: Sequence[Node],
+        added_edges: FrozenSet[Edge],
+        active_moats: int,
+        phase_boundary: bool,
+    ) -> None:
+        self.index = index
+        self.mu = mu
+        self.v = v
+        self.w = w
+        self.path = list(path)
+        self.added_edges = added_edges
+        self.active_moats = active_moats
+        self.phase_boundary = phase_boundary
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MergeEvent(i={self.index}, mu={self.mu}, "
+            f"{self.v!r}~{self.w!r}, act={self.active_moats})"
+        )
+
+
+class MoatGrowingResult:
+    """Outcome of a (centralized) moat-growing run.
+
+    Attributes:
+        forest: all edges emitted during merging (the set F of Algorithm 1).
+        solution: the minimal feasible subforest (the returned output).
+        events: the full merge history.
+        radii: final rad(v) per terminal.
+        dual_lower_bound: Σᵢ actᵢ µᵢ (Lemma C.4 / Corollary D.1); for
+            Algorithm 1 this lower-bounds OPT directly, for Algorithm 2
+            OPT ≥ dual_lower_bound / (1 + ε/2).
+        num_merge_phases: number of maximal merge subsequences with
+            constant activity pattern (Definition 4.3; at most 2k by
+            Lemma 4.4).
+    """
+
+    def __init__(
+        self,
+        instance: SteinerForestInstance,
+        forest_edges: FrozenSet[Edge],
+        events: List[MergeEvent],
+        radii: Dict[Node, Fraction],
+    ) -> None:
+        self.instance = instance
+        self.forest = ForestSolution(instance.graph, forest_edges)
+        self.solution = self.forest.minimal_subforest(instance)
+        self.events = events
+        self.radii = radii
+
+    @property
+    def dual_lower_bound(self) -> Fraction:
+        return sum(
+            (e.active_moats * e.mu for e in self.events), Fraction(0)
+        )
+
+    @property
+    def num_merge_phases(self) -> int:
+        return 1 + sum(1 for e in self.events[:-1] if e.phase_boundary)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MoatGrowingResult(W={self.solution.weight}, "
+            f"merges={len(self.events)}, LB={self.dual_lower_bound})"
+        )
+
+
+class _MoatSystem:
+    """Shared mutable state of Algorithms 1 and 2.
+
+    Tracks the moat partition of the terminals (union-find), per-moat labels
+    and activity flags (keyed by union-find representative), and per-terminal
+    radii. Exposes the event computation and the merge transition exactly as
+    the pseudocode's lines 10–33 prescribe.
+    """
+
+    def __init__(self, instance: SteinerForestInstance) -> None:
+        self.instance = instance
+        self.graph = instance.graph
+        self.terminals: Tuple[Node, ...] = tuple(
+            sorted(instance.terminals, key=repr)
+        )
+        self.moats = UnionFind(self.terminals)
+        self.label: Dict[Node, Hashable] = {}
+        self.active: Dict[Node, bool] = {}
+        self.rad: Dict[Node, Fraction] = {
+            v: Fraction(0) for v in self.terminals
+        }
+        components = instance.components
+        for v in self.terminals:
+            self.label[v] = instance.label(v)
+            # A singleton input component is satisfied from the start.
+            self.active[v] = len(components[instance.label(v)]) >= 2
+        self.forest_uf = UnionFind(self.graph.nodes)
+        self.forest_edges: Set[Edge] = set()
+        self._dist = self.graph.all_pairs_distances()
+
+    # -- state queries --------------------------------------------------
+
+    def rep(self, v: Node) -> Node:
+        return self.moats.find(v)
+
+    def is_active(self, v: Node) -> bool:
+        return self.active[self.rep(v)]
+
+    def moat_label(self, v: Node) -> Hashable:
+        return self.label[self.rep(v)]
+
+    def active_moat_count(self) -> int:
+        reps = {self.rep(v) for v in self.terminals}
+        return sum(1 for r in reps if self.active[r])
+
+    def has_active(self) -> bool:
+        return any(self.active[self.rep(v)] for v in self.terminals)
+
+    def activity_snapshot(self) -> Dict[Node, bool]:
+        return {v: self.is_active(v) for v in self.terminals}
+
+    # -- event computation (pseudocode lines 10–14) ----------------------
+
+    def next_event(self) -> Optional[Tuple[Fraction, Node, Node]]:
+        """The minimal growth µ at which two distinct moats touch.
+
+        Returns (µ, v, w) with v's moat active, or None when no event can
+        ever occur (all moats inactive or only one moat left).
+        """
+        best: Optional[Tuple[Fraction, str, str, Node, Node]] = None
+        for i, v in enumerate(self.terminals):
+            for w in self.terminals[i + 1:]:
+                rv, rw = self.rep(v), self.rep(w)
+                if rv == rw:
+                    continue
+                act_v, act_w = self.active[rv], self.active[rw]
+                if not act_v and not act_w:
+                    continue
+                gap = (
+                    Fraction(self._dist[v][w]) - self.rad[v] - self.rad[w]
+                )
+                if act_v and act_w:
+                    mu = gap / 2
+                else:
+                    mu = gap
+                assert mu >= 0, "moats may not overlap before merging"
+                # Orient so the first terminal is in an active moat.
+                a, b = (v, w) if act_v else (w, v)
+                key = (mu, repr(a), repr(b), a, b)
+                if best is None or key[:3] < best[:3]:
+                    best = key
+        if best is None:
+            return None
+        return best[0], best[3], best[4]
+
+    # -- transitions -----------------------------------------------------
+
+    def grow(self, mu: Fraction) -> None:
+        """Grow all active moats by µ (pseudocode lines 15–16 / 40–41)."""
+        for v in self.terminals:
+            if self.is_active(v):
+                self.rad[v] += mu
+
+    def emit_path(self, v: Node, w: Node) -> Tuple[List[Node], FrozenSet[Edge]]:
+        """Add a least-weight v–w path to the forest, dropping cycle edges."""
+        path = self.graph.shortest_path(v, w)
+        added: Set[Edge] = set()
+        for a, b in zip(path, path[1:]):
+            if self.forest_uf.union(a, b):
+                edge = canonical_edge(a, b)
+                added.add(edge)
+                self.forest_edges.add(edge)
+        return path, frozenset(added)
+
+    def merge(self, v: Node, w: Node, always_active: bool) -> None:
+        """Merge the moats of v and w (pseudocode lines 20–33).
+
+        ``always_active`` distinguishes Algorithm 2 (merged moats stay
+        active until the next growth-phase checkpoint) from Algorithm 1
+        (activity re-evaluated immediately).
+        """
+        rv, rw = self.rep(v), self.rep(w)
+        assert rv != rw
+        label_v, label_w = self.label[rv], self.label[rw]
+        self.moats.union(rv, rw)
+        new_rep = self.rep(v)
+        # Relabel: every moat carrying label_w now carries label_v.
+        if label_v != label_w:
+            for t in self.terminals:
+                r = self.rep(t)
+                if self.label[r] == label_w:
+                    self.label[r] = label_v
+        self.label[new_rep] = label_v
+        if always_active:
+            self.active[new_rep] = True
+        else:
+            self.active[new_rep] = not self._label_class_is_single_moat(
+                label_v
+            )
+
+    def _label_class_is_single_moat(self, label: Hashable) -> bool:
+        reps = {
+            self.rep(t) for t in self.terminals if self.moat_label(t) == label
+        }
+        return len(reps) <= 1
+
+    def recompute_all_activity(self) -> None:
+        """Growth-phase checkpoint of Algorithm 2 (lines 20–25): a moat is
+        active iff another moat carries the same label."""
+        reps = {self.rep(t) for t in self.terminals}
+        label_count: Dict[Hashable, int] = {}
+        for r in reps:
+            label_count[self.label[r]] = label_count.get(self.label[r], 0) + 1
+        for r in reps:
+            self.active[r] = label_count[self.label[r]] >= 2
+
+
+def moat_growing(instance: SteinerForestInstance) -> MoatGrowingResult:
+    """Run Algorithm 1 and return the 2-approximate Steiner forest."""
+    system = _MoatSystem(instance)
+    events: List[MergeEvent] = []
+    index = 0
+    while system.has_active():
+        event = system.next_event()
+        assert event is not None, (
+            "an active moat exists, so its label occurs in another moat "
+            "and a future merge event must exist"
+        )
+        mu, v, w = event
+        index += 1
+        active_count = system.active_moat_count()
+        before = system.activity_snapshot()
+        system.grow(mu)
+        path, added = system.emit_path(v, w)
+        system.merge(v, w, always_active=False)
+        after = system.activity_snapshot()
+        events.append(
+            MergeEvent(
+                index=index,
+                mu=mu,
+                v=v,
+                w=w,
+                path=path,
+                added_edges=added,
+                active_moats=active_count,
+                phase_boundary=(before != after),
+            )
+        )
+    return MoatGrowingResult(
+        instance, frozenset(system.forest_edges), events, dict(system.rad)
+    )

@@ -1,0 +1,70 @@
+"""Convenience APIs for the special cases the paper discusses (Section 1).
+
+Steiner Forest strictly generalizes three classic problems; these wrappers
+express them through the library's instance model:
+
+* **Steiner Tree** (k = 1): the deterministic algorithm becomes a
+  2-approximation of the minimum Steiner tree — "one can interpret the
+  output as the edge set induced by an MST of the complete graph on the
+  terminals".
+* **MST** (k = 1, t = n): the output is an *exact* MST and the running
+  time becomes Õ(√n + D).
+* **Shortest s–t path** (t = 2, k = 1): moat growing from both endpoints
+  returns exactly a least-weight s–t path (the two moats meet halfway),
+  which is also the t = 2 hard case of Lemma 3.4.
+"""
+
+from typing import Optional, Tuple
+
+from repro.congest.run import CongestRun
+from repro.core.distributed import DistributedResult, distributed_moat_growing
+from repro.model.graph import Node, WeightedGraph
+from repro.model.instance import SteinerForestInstance
+
+
+def steiner_tree_instance(
+    graph: WeightedGraph, terminals
+) -> SteinerForestInstance:
+    """The k = 1 instance spanning ``terminals``."""
+    return SteinerForestInstance(
+        graph, {v: "steiner-tree" for v in terminals}
+    )
+
+
+def distributed_steiner_tree(
+    graph: WeightedGraph,
+    terminals,
+    run: Optional[CongestRun] = None,
+) -> DistributedResult:
+    """2-approximate Steiner tree via the deterministic algorithm."""
+    return distributed_moat_growing(
+        steiner_tree_instance(graph, terminals), run
+    )
+
+
+def distributed_mst(
+    graph: WeightedGraph, run: Optional[CongestRun] = None
+) -> DistributedResult:
+    """Exact MST via the k = 1, t = n specialization."""
+    instance = SteinerForestInstance(
+        graph, {v: "mst" for v in graph.nodes}
+    )
+    return distributed_moat_growing(instance, run)
+
+
+def distributed_shortest_path(
+    graph: WeightedGraph,
+    source: Node,
+    target: Node,
+    run: Optional[CongestRun] = None,
+) -> Tuple[DistributedResult, int]:
+    """Least-weight s–t path via the t = 2 specialization.
+
+    Returns (result, path_weight); the solution's edge set is a least-
+    weight path between ``source`` and ``target``.
+    """
+    instance = SteinerForestInstance(
+        graph, {source: "pair", target: "pair"}
+    )
+    result = distributed_moat_growing(instance, run)
+    return result, result.solution.weight

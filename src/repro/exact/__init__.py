@@ -1,0 +1,26 @@
+"""Exact (exponential-time) reference solvers.
+
+The paper's guarantees are multiplicative approximation factors against the
+optimal Steiner forest. These solvers compute that optimum exactly on small
+instances so the benchmark harness can report measured ratios:
+
+* :func:`steiner_tree_cost` — Dreyfus–Wagner dynamic program, exact minimum
+  Steiner tree for a terminal set (O(3^t · n) time).
+* :func:`steiner_forest_cost` — exact Steiner forest via minimization over
+  partitions of the input components into connected groups.
+* :func:`brute_force_forest_cost` — subset enumeration cross-check for tiny
+  graphs.
+"""
+
+from repro.exact.steiner_tree import steiner_tree_cost, steiner_tree_edges
+from repro.exact.steiner_forest import (
+    brute_force_forest_cost,
+    steiner_forest_cost,
+)
+
+__all__ = [
+    "steiner_tree_cost",
+    "steiner_tree_edges",
+    "steiner_forest_cost",
+    "brute_force_forest_cost",
+]

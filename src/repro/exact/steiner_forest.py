@@ -1,0 +1,128 @@
+"""Exact minimum Steiner forest on small instances.
+
+Any feasible forest's connected components induce a partition of the input
+components into groups; restricted to one group, the forest contains a
+Steiner tree spanning the group's terminals. Conversely, taking an optimal
+Steiner tree per group of any partition is feasible. Hence
+
+    OPT(instance) = min over partitions P of Λ
+                    Σ_{block B ∈ P} SteinerTree(∪_{λ ∈ B} C_λ)
+
+which this module evaluates with the Dreyfus–Wagner solver per block. The
+number of set partitions (Bell number) limits this to about k ≤ 8 input
+components, far beyond what ratio measurements need.
+"""
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.exact.steiner_tree import steiner_tree_cost
+from repro.model.graph import Edge, Node, WeightedGraph, canonical_edge
+from repro.model.instance import SteinerForestInstance
+from repro.model.solution import ForestSolution
+from repro.util import UnionFind
+
+
+def _set_partitions(items: Sequence) -> Iterator[List[List]]:
+    """Enumerate all partitions of ``items`` into non-empty blocks."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _set_partitions(rest):
+        # first joins an existing block …
+        for i in range(len(partition)):
+            yield partition[:i] + [[first] + partition[i]] + partition[i + 1:]
+        # … or forms its own block.
+        yield [[first]] + partition
+
+
+def steiner_forest_cost(instance: SteinerForestInstance) -> int:
+    """Exact optimal Steiner forest weight via partition enumeration."""
+    components = {
+        label: nodes
+        for label, nodes in instance.components.items()
+        if len(nodes) >= 2
+    }
+    labels = sorted(components, key=repr)
+    if not labels:
+        return 0
+    graph = instance.graph
+    best = None
+    for partition in _set_partitions(labels):
+        total = 0
+        for block in partition:
+            terminals: Set[Node] = set()
+            for label in block:
+                terminals |= components[label]
+            total += steiner_tree_cost(graph, terminals)
+            if best is not None and total >= best:
+                break
+        else:
+            if best is None or total < best:
+                best = total
+    assert best is not None
+    return best
+
+
+def brute_force_forest_cost(
+    instance: SteinerForestInstance, max_edges: int = 20
+) -> int:
+    """Exact optimum by enumerating edge subsets (cross-check only).
+
+    Only spanning-forest candidates matter, but plain subset enumeration is
+    simple and adequate for the ≤ ``max_edges``-edge graphs this guards.
+    """
+    graph = instance.graph
+    edges = [(u, v) for u, v, _ in graph.edges()]
+    if len(edges) > max_edges:
+        raise ValueError(
+            f"graph has {len(edges)} edges; brute force capped at {max_edges}"
+        )
+    demands = instance.component_pairs()
+    if not demands:
+        return 0
+    best = None
+    for size in range(len(edges) + 1):
+        for subset in combinations(edges, size):
+            uf = UnionFind(graph.nodes)
+            weight = 0
+            for u, v in subset:
+                uf.union(u, v)
+                weight += graph.weight(u, v)
+            if best is not None and weight >= best:
+                continue
+            if all(uf.connected(u, v) for u, v in demands):
+                best = weight if best is None else min(best, weight)
+    assert best is not None
+    return best
+
+
+def optimal_forest_edges(instance: SteinerForestInstance) -> FrozenSet[Edge]:
+    """An optimal Steiner forest edge set (uses the partition enumeration
+    and Dreyfus–Wagner reconstruction per block)."""
+    from repro.exact.steiner_tree import steiner_tree_edges
+
+    components = {
+        label: nodes
+        for label, nodes in instance.components.items()
+        if len(nodes) >= 2
+    }
+    labels = sorted(components, key=repr)
+    if not labels:
+        return frozenset()
+    graph = instance.graph
+    best_cost = None
+    best_edges: FrozenSet[Edge] = frozenset()
+    for partition in _set_partitions(labels):
+        all_edges: Set[Edge] = set()
+        for block in partition:
+            terminals: Set[Node] = set()
+            for label in block:
+                terminals |= components[label]
+            all_edges |= steiner_tree_edges(graph, terminals)
+        cost = graph.edge_weight_sum(all_edges)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_edges = frozenset(all_edges)
+    return best_edges

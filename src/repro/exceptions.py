@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphValidationError(ReproError):
+    """The input graph violates a model assumption (Section 2 of the paper).
+
+    Examples: non-positive or non-integer edge weights, disconnected graph,
+    self-loops.
+    """
+
+
+class InstanceValidationError(ReproError):
+    """The Steiner forest instance is malformed.
+
+    Examples: a terminal label on a node that is not in the graph, or a
+    connection request that refers to an unknown node.
+    """
+
+
+class InfeasibleSolutionError(ReproError):
+    """An edge set claimed as a solution does not connect some component."""
+
+
+class CongestViolationError(ReproError):
+    """A node attempted to exceed the CONGEST per-edge bandwidth budget.
+
+    In the CONGEST(log n) model each edge carries at most one O(log n)-bit
+    message per direction per round; the simulator raises this error when an
+    algorithm tries to send more.
+    """
+
+
+class SimulationError(ReproError):
+    """Internal inconsistency in the round simulator (e.g. exceeding the
+    configured maximum number of rounds, which usually indicates a
+    non-terminating algorithm)."""

@@ -1,0 +1,187 @@
+"""The Figure 1 reduction graphs and the Lemma 3.4 path gadget."""
+
+import random
+from typing import AbstractSet, Dict, FrozenSet, List, Set, Tuple
+
+from repro.model.graph import Edge, WeightedGraph, canonical_edge
+from repro.model.instance import (
+    ConnectionRequestInstance,
+    SteinerForestInstance,
+)
+
+
+class CrGadget:
+    """The DSF-CR reduction instance of Lemma 3.1 (Figure 1, left).
+
+    Attributes:
+        instance: the DSF-CR instance.
+        cut_edges: the four Alice–Bob edges E_AB (the communication cut).
+        heavy_edges: the two edges of weight W = ρ(2n+2)+1; a feasible
+            ρ-approximation avoids them iff A ∩ B = ∅.
+        intersecting: whether A ∩ B ≠ ∅.
+    """
+
+    def __init__(
+        self,
+        instance: ConnectionRequestInstance,
+        cut_edges: FrozenSet[Edge],
+        heavy_edges: FrozenSet[Edge],
+        intersecting: bool,
+    ) -> None:
+        self.instance = instance
+        self.cut_edges = cut_edges
+        self.heavy_edges = heavy_edges
+        self.intersecting = intersecting
+
+
+class IcGadget:
+    """The DSF-IC reduction instance of Lemma 3.3 (Figure 1, right).
+
+    ``bridge`` is the (a₀, b₀) edge that any feasible output must contain
+    iff A ∩ B ≠ ∅.
+    """
+
+    def __init__(
+        self,
+        instance: SteinerForestInstance,
+        cut_edges: FrozenSet[Edge],
+        bridge: Edge,
+        intersecting: bool,
+    ) -> None:
+        self.instance = instance
+        self.cut_edges = cut_edges
+        self.bridge = bridge
+        self.intersecting = intersecting
+
+
+def dsf_cr_gadget(
+    universe: int,
+    set_a: AbstractSet[int],
+    set_b: AbstractSet[int],
+    rho: int = 2,
+) -> CrGadget:
+    """Build the Lemma 3.1 gadget for sets A, B ⊆ {1..universe}.
+
+    Alice's side: a₀ connects to elements of A, a₋₁ to the complement;
+    Bob's side symmetric; the sides are joined by the four-edge cut
+    {(a₀,b₀), (a₋₁,b₋₁), (a₀,b₋₁), (a₋₁,b₀)} of which the first two carry
+    the heavy weight W = ρ(2n+2)+1. Requests pair aᵢ with bᵢ for i ∈ A
+    (and symmetrically for B).
+    """
+    n = universe
+    heavy_weight = rho * (2 * n + 2) + 1
+
+    def a(i: int) -> str:
+        return f"a{i}"
+
+    def b(i: int) -> str:
+        return f"b{i}"
+
+    nodes = (
+        [a(-1), a(0), b(-1), b(0)]
+        + [a(i) for i in range(1, n + 1)]
+        + [b(i) for i in range(1, n + 1)]
+    )
+    edges: List[Tuple[str, str, int]] = []
+    for i in range(1, n + 1):
+        edges.append((a(0) if i in set_a else a(-1), a(i), 1))
+        edges.append((b(0) if i in set_b else b(-1), b(i), 1))
+    cut = [
+        (a(0), b(0), heavy_weight),
+        (a(-1), b(-1), heavy_weight),
+        (a(0), b(-1), 1),
+        (a(-1), b(0), 1),
+    ]
+    edges.extend(cut)
+    graph = WeightedGraph(nodes, edges)
+
+    requests: Dict[str, Set[str]] = {}
+    for i in sorted(set_a):
+        requests.setdefault(a(i), set()).add(b(i))
+    for i in sorted(set_b):
+        requests.setdefault(b(i), set()).add(a(i))
+    instance = ConnectionRequestInstance(graph, requests)
+    return CrGadget(
+        instance,
+        frozenset(canonical_edge(u, v) for u, v, _ in cut),
+        frozenset(
+            {
+                canonical_edge(a(0), b(0)),
+                canonical_edge(a(-1), b(-1)),
+            }
+        ),
+        bool(set(set_a) & set(set_b)),
+    )
+
+
+def dsf_ic_gadget(
+    universe: int,
+    set_a: AbstractSet[int],
+    set_b: AbstractSet[int],
+) -> IcGadget:
+    """Build the Lemma 3.3 gadget: two unit-weight stars joined by (a₀,b₀);
+    leaf aᵢ carries label i iff i ∈ A, leaf bᵢ iff i ∈ B."""
+    n = universe
+
+    def a(i: int) -> str:
+        return f"a{i}"
+
+    def b(i: int) -> str:
+        return f"b{i}"
+
+    nodes = [a(0), b(0)] + [a(i) for i in range(1, n + 1)] + [
+        b(i) for i in range(1, n + 1)
+    ]
+    edges = (
+        [(a(0), a(i), 1) for i in range(1, n + 1)]
+        + [(b(0), b(i), 1) for i in range(1, n + 1)]
+        + [(a(0), b(0), 1)]
+    )
+    graph = WeightedGraph(nodes, edges)
+    labels: Dict[str, int] = {}
+    for i in sorted(set_a):
+        labels[a(i)] = i
+    for i in sorted(set_b):
+        labels[b(i)] = i
+    instance = SteinerForestInstance(graph, labels)
+    bridge = canonical_edge(a(0), b(0))
+    return IcGadget(
+        instance,
+        frozenset({bridge}),
+        bridge,
+        bool(set(set_a) & set(set_b)),
+    )
+
+
+def path_gadget(length: int, star_weight_factor: int = 4) -> SteinerForestInstance:
+    """The Lemma 3.4 style instance: t = 2, k = 1, s = ``length``, small D.
+
+    A unit-weight path carries the only least-weight route between the two
+    terminal endpoints; a heavy star center keeps the unweighted diameter
+    at 2 without offering a competitive weighted shortcut.
+    """
+    if length < 1:
+        raise ValueError("length must be ≥ 1")
+    nodes = [f"p{i}" for i in range(length + 1)] + ["hub"]
+    edges = [(f"p{i}", f"p{i+1}", 1) for i in range(length)]
+    heavy = star_weight_factor * length
+    edges += [(f"p{i}", "hub", heavy) for i in range(length + 1)]
+    graph = WeightedGraph(nodes, edges)
+    return SteinerForestInstance(
+        graph, {"p0": "pair", f"p{length}": "pair"}
+    )
+
+
+def random_disjointness_sets(
+    universe: int, rng: random.Random, intersecting: bool
+) -> Tuple[Set[int], Set[int]]:
+    """Hard-style Set Disjointness inputs: |A|, |B| ≈ n/2, |A ∩ B| ≤ 1."""
+    items = list(range(1, universe + 1))
+    rng.shuffle(items)
+    half = max(1, universe // 2)
+    set_a = set(items[:half])
+    remaining = [i for i in items if i not in set_a]
+    set_b = set(remaining[: max(1, len(remaining))])
+    if intersecting:
+        set_b.add(rng.choice(sorted(set_a)))
+    return set_a, set_b

@@ -1,0 +1,31 @@
+"""Problem model: weighted graphs, Steiner forest instances, and solutions.
+
+This package implements the objects defined in Section 2 of Lenzen &
+Patt-Shamir (PODC 2014): the weighted network graph with its metrics
+(unweighted diameter ``D``, weighted diameter ``WD``, shortest-path diameter
+``s``), the two input representations of the distributed Steiner forest
+problem (DSF-IC with input components, Definition 2.2, and DSF-CR with
+connection requests, Definition 2.1), and forest solutions with feasibility
+checking.
+"""
+
+from repro.model.graph import Ball, WeightedGraph
+from repro.model.instance import (
+    ConnectionRequestInstance,
+    SteinerForestInstance,
+)
+from repro.model.solution import ForestSolution
+from repro.model.transforms import (
+    minimalize_instance,
+    requests_to_components,
+)
+
+__all__ = [
+    "Ball",
+    "WeightedGraph",
+    "SteinerForestInstance",
+    "ConnectionRequestInstance",
+    "ForestSolution",
+    "requests_to_components",
+    "minimalize_instance",
+]

@@ -1,0 +1,223 @@
+"""Steiner forest problem instances (Definitions 2.1 and 2.2).
+
+Two input representations are supported, matching the paper:
+
+* :class:`SteinerForestInstance` — DSF-IC, *input components*: each terminal
+  ``v`` carries a label ``λ(v)``; all terminals sharing a label must end up in
+  the same connected component of the output forest.
+* :class:`ConnectionRequestInstance` — DSF-CR, *connection requests*: each
+  node ``v`` holds a request set ``R_v ⊆ V``; for every ``w ∈ R_v`` the output
+  must connect ``v`` and ``w``.
+
+Both can be converted into one another without changing the set of feasible
+outputs (Lemmas 2.3 and 2.4); see :mod:`repro.model.transforms`.
+"""
+
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Tuple,
+)
+
+from repro.exceptions import InstanceValidationError
+from repro.model.graph import Node, WeightedGraph
+
+Label = Hashable
+
+
+class SteinerForestInstance:
+    """A DSF-IC instance: a weighted graph plus a terminal labelling.
+
+    Args:
+        graph: the underlying CONGEST network.
+        labels: mapping from terminal node to its component label λ(v).
+            Nodes absent from the mapping are non-terminals (λ(v) = ⊥).
+
+    The paper's parameters are exposed as properties: ``terminals`` (T),
+    ``num_terminals`` (t), ``components`` (the C_λ), ``num_components`` (k).
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        labels: Mapping[Node, Label],
+        validate: bool = True,
+    ) -> None:
+        self.graph = graph
+        self._labels: Dict[Node, Label] = dict(labels)
+        if validate:
+            self.validate()
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check that every labelled node exists and labels are not None."""
+        for v, label in self._labels.items():
+            if not self.graph.has_node(v):
+                raise InstanceValidationError(
+                    f"terminal {v!r} is not a node of the graph"
+                )
+            if label is None:
+                raise InstanceValidationError(
+                    f"terminal {v!r} has label None (use absence for ⊥)"
+                )
+
+    # ------------------------------------------------------------------
+
+    def label(self, v: Node) -> Label:
+        """λ(v), or None for non-terminals."""
+        return self._labels.get(v)
+
+    @property
+    def labels(self) -> Dict[Node, Label]:
+        """A copy of the terminal→label mapping."""
+        return dict(self._labels)
+
+    @property
+    def terminals(self) -> FrozenSet[Node]:
+        """T — the set of labelled nodes."""
+        return frozenset(self._labels)
+
+    @property
+    def num_terminals(self) -> int:
+        """t = |T|."""
+        return len(self._labels)
+
+    @property
+    def components(self) -> Dict[Label, FrozenSet[Node]]:
+        """The input components C_λ keyed by label."""
+        result: Dict[Label, set] = {}
+        for v, label in self._labels.items():
+            result.setdefault(label, set()).add(v)
+        return {label: frozenset(nodes) for label, nodes in result.items()}
+
+    @property
+    def num_components(self) -> int:
+        """k = |Λ|."""
+        return len(set(self._labels.values()))
+
+    def is_minimal(self) -> bool:
+        """Whether no input component is a singleton (Definition 2.2)."""
+        return all(len(c) >= 2 for c in self.components.values())
+
+    def is_trivial(self) -> bool:
+        """Whether the empty edge set is feasible (no component with ≥2)."""
+        return all(len(c) <= 1 for c in self.components.values())
+
+    def component_pairs(self) -> List[Tuple[Node, Node]]:
+        """All unordered terminal pairs that must be connected."""
+        pairs = []
+        for component in self.components.values():
+            members = sorted(component, key=repr)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    pairs.append((u, v))
+        return pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SteinerForestInstance(n={self.graph.num_nodes}, "
+            f"t={self.num_terminals}, k={self.num_components})"
+        )
+
+
+class ConnectionRequestInstance:
+    """A DSF-CR instance: a weighted graph plus per-node request sets.
+
+    Args:
+        graph: the underlying CONGEST network.
+        requests: mapping from node ``v`` to the set ``R_v`` of nodes it must
+            be connected to. Requests need not be symmetric (the paper's
+            reduction in Lemma 3.1 uses asymmetric ones); feasibility treats
+            ``w ∈ R_v`` as the undirected demand {v, w}.
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        requests: Mapping[Node, AbstractSet[Node]],
+        validate: bool = True,
+    ) -> None:
+        self.graph = graph
+        self._requests: Dict[Node, FrozenSet[Node]] = {
+            v: frozenset(targets)
+            for v, targets in requests.items()
+            if targets
+        }
+        if validate:
+            self.validate()
+
+    def validate(self) -> None:
+        for v, targets in self._requests.items():
+            if not self.graph.has_node(v):
+                raise InstanceValidationError(
+                    f"requesting node {v!r} is not a node of the graph"
+                )
+            for w in targets:
+                if not self.graph.has_node(w):
+                    raise InstanceValidationError(
+                        f"request target {w!r} is not a node of the graph"
+                    )
+                if w == v:
+                    raise InstanceValidationError(
+                        f"node {v!r} requests connection to itself"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def requests_of(self, v: Node) -> FrozenSet[Node]:
+        """R_v (empty frozenset for nodes with no requests)."""
+        return self._requests.get(v, frozenset())
+
+    @property
+    def requests(self) -> Dict[Node, FrozenSet[Node]]:
+        """A copy of the node→requests mapping."""
+        return dict(self._requests)
+
+    def demand_pairs(self) -> List[Tuple[Node, Node]]:
+        """All undirected demand pairs {v, w} implied by the requests."""
+        pairs = set()
+        for v, targets in self._requests.items():
+            for w in targets:
+                pairs.add((v, w) if repr(v) <= repr(w) else (w, v))
+        return sorted(pairs, key=repr)
+
+    @property
+    def terminals(self) -> FrozenSet[Node]:
+        """T — nodes appearing in any request, as source or target."""
+        result = set(self._requests)
+        for targets in self._requests.values():
+            result |= targets
+        return frozenset(result)
+
+    @property
+    def num_terminals(self) -> int:
+        """t = |T|."""
+        return len(self.terminals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConnectionRequestInstance(n={self.graph.num_nodes}, "
+            f"t={self.num_terminals}, "
+            f"demands={len(self.demand_pairs())})"
+        )
+
+
+def instance_from_components(
+    graph: WeightedGraph, components: Iterable[Iterable[Node]]
+) -> SteinerForestInstance:
+    """Convenience constructor: label the i-th component with label ``i``."""
+    labels: Dict[Node, Label] = {}
+    for index, component in enumerate(components):
+        for v in component:
+            if v in labels:
+                raise InstanceValidationError(
+                    f"node {v!r} appears in two input components"
+                )
+            labels[v] = index
+    return SteinerForestInstance(graph, labels)

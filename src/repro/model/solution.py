@@ -1,0 +1,202 @@
+"""Forest solutions: feasibility, weight, and minimal subforests.
+
+The output of every algorithm in the paper is an edge set ``F ⊆ E`` such that
+all terminals of each input component are connected by ``F``. This module
+provides :class:`ForestSolution` for checking those guarantees, measuring
+weight, and extracting the inclusion-minimal feasible subforest (the final
+pruning step of Algorithms 1/2 and Appendix F.3).
+"""
+
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.exceptions import InfeasibleSolutionError
+from repro.model.graph import Edge, Node, WeightedGraph, canonical_edge
+from repro.model.instance import ConnectionRequestInstance, SteinerForestInstance
+from repro.util import UnionFind
+
+
+class ForestSolution:
+    """An edge set proposed as a Steiner forest solution.
+
+    The class is agnostic about which algorithm produced the edges; it only
+    knows the graph. Feasibility is checked against a given instance.
+    """
+
+    def __init__(self, graph: WeightedGraph, edges: Iterable[Edge]) -> None:
+        self.graph = graph
+        canon: Set[Edge] = set()
+        for u, v in edges:
+            if not graph.has_edge(u, v):
+                raise InfeasibleSolutionError(
+                    f"solution contains non-edge ({u!r}, {v!r})"
+                )
+            canon.add(canonical_edge(u, v))
+        self.edges: FrozenSet[Edge] = frozenset(canon)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def weight(self) -> int:
+        """W(F) — total weight of the selected edges."""
+        return self.graph.edge_weight_sum(self.edges)
+
+    def is_forest(self) -> bool:
+        """Whether (V, F) is acyclic."""
+        uf = UnionFind()
+        for u, v in sorted(self.edges, key=repr):
+            if not uf.union(u, v):
+                return False
+        return True
+
+    def components(self) -> List[FrozenSet[Node]]:
+        """Connected components of (V, F) restricted to touched nodes."""
+        uf = UnionFind()
+        for u, v in self.edges:
+            uf.union(u, v)
+        groups: Dict[Node, Set[Node]] = {}
+        for u, v in self.edges:
+            for x in (u, v):
+                groups.setdefault(uf.find(x), set()).add(x)
+        return [frozenset(g) for g in groups.values()]
+
+    def _component_finder(self) -> UnionFind:
+        uf = UnionFind(self.graph.nodes)
+        for u, v in self.edges:
+            uf.union(u, v)
+        return uf
+
+    def connects(self, u: Node, v: Node) -> bool:
+        """Whether ``F`` connects nodes ``u`` and ``v``."""
+        return self._component_finder().connected(u, v)
+
+    # ------------------------------------------------------------------
+
+    def is_feasible(self, instance) -> bool:
+        """Whether the solution satisfies all of ``instance``'s demands.
+
+        Accepts either a :class:`SteinerForestInstance` or a
+        :class:`ConnectionRequestInstance`.
+        """
+        uf = self._component_finder()
+        for u, v in _demand_pairs(instance):
+            if not uf.connected(u, v):
+                return False
+        return True
+
+    def assert_feasible(self, instance) -> None:
+        """Raise InfeasibleSolutionError if some demand is unsatisfied."""
+        uf = self._component_finder()
+        for u, v in _demand_pairs(instance):
+            if not uf.connected(u, v):
+                raise InfeasibleSolutionError(
+                    f"terminals {u!r} and {v!r} are not connected"
+                )
+
+    # ------------------------------------------------------------------
+
+    def minimal_subforest(self, instance) -> "ForestSolution":
+        """The inclusion-minimal subset of ``F`` that still solves
+        ``instance``.
+
+        Mirrors the final line of Algorithms 1 and 2 ("return minimal
+        feasible subset of F"). Requires ``F`` to be feasible. If ``F``
+        contains cycles, a spanning forest of ``F`` is used first (any
+        feasible edge set admits a feasible spanning forest of no larger
+        weight, since edge weights are positive).
+
+        An edge of a tree is needed iff it lies on the tree path of some
+        demand pair; equivalently, iff removing it separates two terminals
+        of the same demand group. We keep exactly the union over demand
+        groups of the minimal subtree spanning each group (the sets ``T_λ``
+        of Definition G.6, here inside the solution forest).
+        """
+        self.assert_feasible(instance)
+
+        # Reduce to a spanning forest of (V, F), preferring light edges so
+        # the pruned result is never heavier than necessary.
+        uf = UnionFind(self.graph.nodes)
+        forest: Set[Edge] = set()
+        adj: Dict[Node, Set[Node]] = {}
+        for u, v in sorted(
+            self.edges, key=lambda e: (self.graph.weight(*e), repr(e))
+        ):
+            if uf.union(u, v):
+                forest.add(canonical_edge(u, v))
+                adj.setdefault(u, set()).add(v)
+                adj.setdefault(v, set()).add(u)
+
+        groups = _demand_groups(instance)
+        kept: Set[Edge] = set()
+        # Root every tree of the forest once; for each demand group, an edge
+        # (child, parent) is needed iff the child's subtree contains some but
+        # not all of the group's terminals in that tree.
+        visited: Set[Node] = set()
+        for root in sorted(adj, key=repr):
+            if root in visited:
+                continue
+            # Iterative DFS producing a post-order and parent pointers.
+            parent: Dict[Node, Node] = {}
+            order: List[Node] = []
+            stack = [root]
+            visited.add(root)
+            while stack:
+                u = stack.pop()
+                order.append(u)
+                for v in adj[u]:
+                    if v not in visited:
+                        visited.add(v)
+                        parent[v] = u
+                        stack.append(v)
+            tree_nodes = set(order)
+            for group in groups:
+                members = group & tree_nodes
+                if len(members) < 2:
+                    continue
+                # Subtree counts of group terminals via reverse DFS order.
+                count: Dict[Node, int] = {
+                    v: (1 if v in members else 0) for v in order
+                }
+                for v in reversed(order):
+                    if v in parent:
+                        count[parent[v]] += count[v]
+                total = len(members)
+                for v in order:
+                    if v in parent and 0 < count[v] < total:
+                        kept.add(canonical_edge(v, parent[v]))
+        return ForestSolution(self.graph, kept)
+
+    # ------------------------------------------------------------------
+
+    def union(self, other: "ForestSolution") -> "ForestSolution":
+        """Edge-set union of two solutions on the same graph."""
+        if other.graph is not self.graph:
+            raise InfeasibleSolutionError(
+                "cannot union solutions over different graphs"
+            )
+        return ForestSolution(self.graph, self.edges | other.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ForestSolution(|F|={len(self.edges)}, W={self.weight})"
+
+
+def _demand_pairs(instance) -> List:
+    if isinstance(instance, SteinerForestInstance):
+        return instance.component_pairs()
+    if isinstance(instance, ConnectionRequestInstance):
+        return instance.demand_pairs()
+    raise TypeError(f"unsupported instance type {type(instance)!r}")
+
+
+def _demand_groups(instance) -> List[FrozenSet[Node]]:
+    """Terminal groups that must each be connected.
+
+    For DSF-IC these are the input components; for DSF-CR they are the
+    connected components of the demand graph (transitivity of connectivity
+    makes this equivalent, cf. Lemma 2.3).
+    """
+    if isinstance(instance, SteinerForestInstance):
+        return [c for c in instance.components.values() if len(c) >= 2]
+    uf = UnionFind()
+    for u, v in _demand_pairs(instance):
+        uf.union(u, v)
+    return [frozenset(s) for s in uf.sets() if len(s) >= 2]

@@ -1,0 +1,82 @@
+"""Equivalence transforms between problem representations (Lemmas 2.3, 2.4).
+
+Two instances over the same weighted graph are *equivalent* when they admit
+exactly the same set of feasible outputs. The paper shows:
+
+* Lemma 2.3 — any DSF-CR instance can be turned into an equivalent DSF-IC
+  instance (in O(D + t) rounds distributively; this module provides the
+  centralized semantics, :func:`requests_to_components`).
+* Lemma 2.4 — any DSF-IC instance can be made *minimal* (no singleton input
+  components) in O(D + k) rounds; see :func:`minimalize_instance`.
+
+The distributed, round-accounted counterparts live in
+:mod:`repro.congest.transforms` and produce identical outputs.
+"""
+
+from typing import Dict, Hashable
+
+from repro.model.instance import (
+    ConnectionRequestInstance,
+    SteinerForestInstance,
+)
+from repro.model.graph import Node
+from repro.util import UnionFind
+
+
+def requests_to_components(
+    instance: ConnectionRequestInstance,
+) -> SteinerForestInstance:
+    """Convert a DSF-CR instance into an equivalent DSF-IC instance.
+
+    By transitivity of connectivity, a feasible edge set must connect every
+    connected component of the demand graph; conversely, connecting each such
+    component satisfies all requests. Each component of the demand graph thus
+    becomes an input component, labelled (as in the paper's proof) by the
+    smallest identifier it contains.
+    """
+    uf = UnionFind()
+    for u, v in instance.demand_pairs():
+        uf.union(u, v)
+    labels: Dict[Node, Hashable] = {}
+    for group in uf.sets():
+        label = min(group, key=repr)
+        for v in group:
+            labels[v] = label
+    return SteinerForestInstance(instance.graph, labels)
+
+
+def minimalize_instance(
+    instance: SteinerForestInstance,
+) -> SteinerForestInstance:
+    """Drop singleton input components (Lemma 2.4).
+
+    A component with a single terminal imposes no constraint; the resulting
+    instance is *minimal* in the sense of Definition 2.2 and equivalent to
+    the input.
+    """
+    components = instance.components
+    labels = {
+        v: label
+        for v, label in instance.labels.items()
+        if len(components[label]) >= 2
+    }
+    return SteinerForestInstance(instance.graph, labels)
+
+
+def components_to_requests(
+    instance: SteinerForestInstance,
+) -> ConnectionRequestInstance:
+    """Convert DSF-IC to an equivalent DSF-CR instance.
+
+    Each terminal requests a connection to every other terminal of its input
+    component (a clique of demands; a path of demands would be equivalent but
+    the clique matches Definition 2.1 most directly).
+    """
+    components = instance.components
+    requests: Dict[Node, set] = {}
+    for component in components.values():
+        for v in component:
+            others = set(component) - {v}
+            if others:
+                requests[v] = others
+    return ConnectionRequestInstance(instance.graph, requests)

@@ -1,0 +1,33 @@
+"""The randomized Õ(k + min{s, √n} + D)-round algorithm (Section 5).
+
+Pipeline (Theorem 5.2):
+
+1. :mod:`repro.randomized.embedding` — the random-rank virtual tree of Khan
+   et al. [14]: every node picks a random rank; the level-i ancestor of v is
+   the highest-rank node within distance β·2^i (β random in [1,2]). For
+   s > √n the tree is truncated at the √n highest-rank nodes S (Lemma G.2).
+2. :mod:`repro.randomized.selection` — the first stage: per level,
+   label-carriers route (λ, ancestor) messages along shortest paths with
+   per-destination round-robin pipelining; filtering keeps one carrier per
+   (label, ancestor). The selected edges F cost at most the optimal virtual
+   tree solution (Lemma G.8) — O(log n)·OPT in expectation.
+3. :mod:`repro.randomized.reduced` — for s > √n, the F-reduced instance
+   (Definition 5.1) with ≤ √n super-terminals, solved by the [17]-style
+   spanner algorithm (:mod:`repro.baselines.spanner`).
+"""
+
+from repro.randomized.embedding import VirtualTreeEmbedding, build_embedding
+from repro.randomized.selection import FirstStageResult, first_stage_selection
+from repro.randomized.reduced import ReducedInstance, build_reduced_instance
+from repro.randomized.algorithm import RandomizedResult, randomized_steiner_forest
+
+__all__ = [
+    "VirtualTreeEmbedding",
+    "build_embedding",
+    "FirstStageResult",
+    "first_stage_selection",
+    "ReducedInstance",
+    "build_reduced_instance",
+    "RandomizedResult",
+    "randomized_steiner_forest",
+]

@@ -1,0 +1,137 @@
+"""Least-element (LE) lists — the substrate of the [14] tree embedding.
+
+Given a random rank order on the nodes, the LE list of a node ``v`` is
+
+    LE(v) = { (wd(v, u), u) :  rank(u) > rank(w)
+              for every w with wd(v, w) < wd(v, u) }
+
+— the sequence of "record-rank" nodes by increasing distance. The level-i
+ancestor of the tree embedding is exactly the highest-rank node within
+distance β·2^i, which is an LE-list entry; Khan et al. compute the lists
+distributively in O(s·log n) rounds w.h.p. and show |LE(v)| ∈ O(log n)
+w.h.p., which is also why only O(log n) embedding paths cross any node.
+
+This module computes LE lists both centrally (reference) and via a
+round-counted distributed emulation (Bellman–Ford-style relaxations where
+a node forwards only entries that survive its own list — the standard
+algorithm), and exposes the ancestor lookup used by
+:mod:`repro.randomized.embedding`.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.congest.run import CongestRun
+from repro.model.graph import Node, WeightedGraph
+
+
+def le_list_reference(
+    graph: WeightedGraph, rank: Dict[Node, int], v: Node
+) -> List[Tuple[int, Node]]:
+    """LE(v) computed from all-pairs distances (the specification)."""
+    apd = graph.all_pairs_distances()
+    ordered = sorted(
+        graph.nodes, key=lambda u: (apd[v][u], -rank[u], repr(u))
+    )
+    result: List[Tuple[int, Node]] = []
+    best_rank = -1
+    for u in ordered:
+        if rank[u] > best_rank:
+            best_rank = rank[u]
+            result.append((apd[v][u], u))
+    return result
+
+
+def distributed_le_lists(
+    graph: WeightedGraph,
+    rank: Dict[Node, int],
+    run: CongestRun,
+) -> Dict[Node, List[Tuple[int, Node]]]:
+    """Compute all LE lists with round-counted relaxations.
+
+    Per round, every node whose list changed announces the changed entries
+    to its neighbors; a received entry (d, u) survives at ``w`` iff no
+    known node at distance < d + W(edge) has larger rank. Each announced
+    entry is one O(log n)-bit message; per round a node sends the entries
+    one by one (the O(log n) expected list length bounds the per-round
+    congestion, matching the paper's O(s log n) bound w.h.p.).
+    """
+    lists: Dict[Node, Dict[Node, int]] = {
+        v: {v: 0} for v in graph.nodes
+    }
+
+    def prune(v: Node) -> None:
+        entries = sorted(
+            lists[v].items(),
+            key=lambda kv: (kv[1], -rank[kv[0]], repr(kv[0])),
+        )
+        best_rank = -1
+        kept: Dict[Node, int] = {}
+        for u, d in entries:
+            if rank[u] > best_rank:
+                best_rank = rank[u]
+                kept[u] = d
+        lists[v] = kept
+
+    changed = {v: dict(lists[v]) for v in graph.nodes}
+    while any(changed.values()):
+        # Entries travel one hop per round; multiple entries from the same
+        # node are serialized (we charge one round per batch slot).
+        max_batch = max(
+            (len(entries) for entries in changed.values()), default=0
+        )
+        traffic = {}
+        for v, entries in changed.items():
+            if not entries:
+                continue
+            for u in graph.neighbors(v):
+                traffic[(v, u)] = 1
+        # One round per batch slot; every slot may carry one entry per edge.
+        for _slot in range(max(1, max_batch)):
+            run.tick(traffic)
+        next_changed: Dict[Node, Dict[Node, int]] = {
+            v: {} for v in graph.nodes
+        }
+        for v, entries in changed.items():
+            for u in graph.neighbors(v):
+                w_edge = graph.weight(v, u)
+                for cand, d in entries.items():
+                    nd = d + w_edge
+                    if cand in lists[u] and lists[u][cand] <= nd:
+                        continue
+                    # Survives only if it would enter u's pruned list.
+                    dominated = any(
+                        dist < nd and rank[other] >= rank[cand]
+                        for other, dist in lists[u].items()
+                    )
+                    if dominated:
+                        continue
+                    lists[u][cand] = nd
+                    next_changed[u][cand] = nd
+        for v in graph.nodes:
+            prune(v)
+            next_changed[v] = {
+                u: d
+                for u, d in next_changed[v].items()
+                if lists[v].get(u) == d
+            }
+        changed = next_changed
+
+    return {
+        v: sorted(
+            ((d, u) for u, d in lists[v].items()),
+            key=lambda du: (du[0], repr(du[1])),
+        )
+        for v in graph.nodes
+    }
+
+
+def ancestor_from_le_list(
+    le_list: List[Tuple[int, Node]], radius
+) -> Optional[Node]:
+    """The highest-rank node within ``radius``: the LAST list entry with
+    distance ≤ radius (entries are rank-increasing in distance)."""
+    best = None
+    for d, u in le_list:
+        if d <= radius:
+            best = u
+    return best

@@ -1,0 +1,5 @@
+"""Small generic utilities shared across the library."""
+
+from repro.util.union_find import UnionFind
+
+__all__ = ["UnionFind"]

@@ -1,0 +1,100 @@
+"""Disjoint-set (union-find) data structure.
+
+Used throughout the library for cycle detection in Kruskal-style filtering of
+candidate merges (Lemma 4.13 of the paper) and for connected-component
+bookkeeping of partially built forests.
+"""
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set
+
+
+class UnionFind:
+    """Union-find with union by rank and path compression.
+
+    Elements may be any hashable values and can be added lazily: ``find`` on
+    an unknown element creates a fresh singleton set for it.
+
+    >>> uf = UnionFind([1, 2, 3])
+    >>> uf.union(1, 2)
+    True
+    >>> uf.connected(1, 2)
+    True
+    >>> uf.connected(1, 3)
+    False
+    """
+
+    def __init__(self, elements: Optional[Iterable[Hashable]] = None) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._size: Dict[Hashable, int] = {}
+        self._num_sets = 0
+        if elements is not None:
+            for element in elements:
+                self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Add ``element`` as a singleton set if it is not present."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._size[element] = 1
+            self._num_sets += 1
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        """Number of elements (not sets)."""
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently represented."""
+        return self._num_sets
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``.
+
+        Returns True if a merge happened, False if they were already in the
+        same set (i.e. the edge (a, b) would close a cycle).
+        """
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        self._num_sets -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def set_size(self, element: Hashable) -> int:
+        """Number of elements in ``element``'s set."""
+        return self._size[self.find(element)]
+
+    def sets(self) -> List[Set[Hashable]]:
+        """Materialize all disjoint sets (order unspecified)."""
+        by_root: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return list(by_root.values())

@@ -1,0 +1,21 @@
+"""Workload generators for experiments and tests."""
+
+from repro.workloads.generators import (
+    grid_graph,
+    grid_instance,
+    random_connected_graph,
+    random_geometric_graph,
+    random_instance,
+    ring_of_blobs,
+    terminals_on_graph,
+)
+
+__all__ = [
+    "grid_graph",
+    "random_connected_graph",
+    "random_geometric_graph",
+    "ring_of_blobs",
+    "terminals_on_graph",
+    "random_instance",
+    "grid_instance",
+]

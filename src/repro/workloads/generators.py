@@ -1,0 +1,139 @@
+"""Deterministic (seeded) workload generators.
+
+Each generator takes a ``random.Random`` so experiment rows are exactly
+reproducible. Graph families cover the regimes the paper's bounds
+distinguish: dense random graphs (small s, small D), grids (s ≈ √n),
+geometric graphs (locality), and ring-of-blobs constructions whose
+shortest-path diameter s is directly controllable.
+"""
+
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.model.graph import Node, WeightedGraph
+from repro.model.instance import SteinerForestInstance, instance_from_components
+
+
+def random_connected_graph(
+    n: int,
+    p: float,
+    rng: random.Random,
+    max_weight: int = 20,
+) -> WeightedGraph:
+    """G(n, p) with a Hamiltonian-path fallback for connectivity and
+    uniform random integer weights in [1, max_weight]."""
+    graph = nx.gnp_random_graph(n, p, seed=rng.randrange(1 << 30))
+    if not nx.is_connected(graph):
+        graph = nx.compose(graph, nx.path_graph(n))
+    for u, v in graph.edges:
+        graph[u][v]["weight"] = rng.randint(1, max_weight)
+    return WeightedGraph.from_networkx(graph)
+
+
+def random_geometric_graph(
+    n: int,
+    radius: float,
+    rng: random.Random,
+    weight_scale: int = 100,
+) -> WeightedGraph:
+    """Random geometric graph; weights ≈ Euclidean distance (scaled ints)."""
+    graph = nx.random_geometric_graph(
+        n, radius, seed=rng.randrange(1 << 30)
+    )
+    if not nx.is_connected(graph):
+        graph = nx.compose(graph, nx.path_graph(n))
+    pos = nx.get_node_attributes(graph, "pos")
+    for u, v in graph.edges:
+        if u in pos and v in pos:
+            dist = (
+                (pos[u][0] - pos[v][0]) ** 2 + (pos[u][1] - pos[v][1]) ** 2
+            ) ** 0.5
+            graph[u][v]["weight"] = max(1, int(dist * weight_scale))
+        else:
+            graph[u][v]["weight"] = rng.randint(1, weight_scale)
+    return WeightedGraph.from_networkx(graph)
+
+
+def grid_graph(
+    rows: int, cols: int, rng: random.Random, max_weight: int = 10
+) -> WeightedGraph:
+    """rows × cols grid with random integer weights."""
+    graph = nx.convert_node_labels_to_integers(nx.grid_2d_graph(rows, cols))
+    for u, v in graph.edges:
+        graph[u][v]["weight"] = rng.randint(1, max_weight)
+    return WeightedGraph.from_networkx(graph)
+
+
+def ring_of_blobs(
+    num_blobs: int,
+    blob_size: int,
+    rng: random.Random,
+    path_weight: int = 1,
+    blob_weight: int = 3,
+) -> WeightedGraph:
+    """A cycle of cliques: the shortest-path diameter s grows with the ring
+    length while the clique structure keeps density up. Useful for sweeping
+    s independently of n."""
+    edges: List[Tuple[int, int, int]] = []
+    nodes: List[int] = []
+
+    def blob_node(b: int, i: int) -> int:
+        return b * blob_size + i
+
+    for b in range(num_blobs):
+        members = [blob_node(b, i) for i in range(blob_size)]
+        nodes.extend(members)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                edges.append((u, v, blob_weight + rng.randint(0, 2)))
+        nxt = (b + 1) % num_blobs
+        edges.append((blob_node(b, 0), blob_node(nxt, 0), path_weight))
+    return WeightedGraph(nodes, edges)
+
+
+def terminals_on_graph(
+    graph: WeightedGraph,
+    k: int,
+    component_size: int,
+    rng: random.Random,
+) -> SteinerForestInstance:
+    """Place k disjoint input components of the given size uniformly."""
+    nodes = list(graph.nodes)
+    needed = k * component_size
+    if needed > len(nodes):
+        raise ValueError(
+            f"need {needed} terminals but the graph has {len(nodes)} nodes"
+        )
+    rng.shuffle(nodes)
+    components = [
+        nodes[i * component_size: (i + 1) * component_size]
+        for i in range(k)
+    ]
+    return instance_from_components(graph, components)
+
+
+def random_instance(
+    n: int,
+    k: int,
+    rng: random.Random,
+    p: float = 0.35,
+    component_size: int = 2,
+    max_weight: int = 20,
+) -> SteinerForestInstance:
+    """A random connected graph with k random components (convenience)."""
+    graph = random_connected_graph(n, p, rng, max_weight=max_weight)
+    return terminals_on_graph(graph, k, component_size, rng)
+
+
+def grid_instance(
+    rows: int,
+    cols: int,
+    k: int,
+    rng: random.Random,
+    component_size: int = 2,
+) -> SteinerForestInstance:
+    """A random-weight grid with k random components (convenience)."""
+    graph = grid_graph(rows, cols, rng)
+    return terminals_on_graph(graph, k, component_size, rng)

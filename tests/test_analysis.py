@@ -1,0 +1,73 @@
+"""Tests for the analysis helpers (scaling fits, ratio summaries)."""
+
+import pytest
+
+from repro.analysis import (
+    RatioSummary,
+    fit_power_law,
+    normalized_cost,
+    summarize_ratios,
+)
+
+
+class TestPowerLaw:
+    def test_linear_data_fits_exponent_one(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [3 * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(1.0, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0, abs=1e-9)
+
+    def test_quadratic_data(self):
+        xs = [1, 2, 4, 8]
+        ys = [x * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+
+    def test_noisy_linear_near_one(self):
+        xs = [2, 4, 8, 16, 32]
+        ys = [2.1 * x + 1 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert 0.8 <= fit.exponent <= 1.2
+        assert fit.r_squared > 0.95
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([0, 1], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2], [-1, 2])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1, 2, 3], [1, 2])
+
+
+class TestNormalizedCost:
+    def test_elementwise(self):
+        assert normalized_cost([10, 20], [5, 10]) == [2.0, 2.0]
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_cost([1], [1, 2])
+
+
+class TestRatioSummary:
+    def test_summary_fields(self):
+        summary = summarize_ratios([1.0, 1.5, 2.0])
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(1.5)
+        assert summary.maximum == 2.0
+        assert summary.minimum == 1.0
+
+    def test_within(self):
+        assert summarize_ratios([1.0, 1.9]).within(2.0)
+        assert not summarize_ratios([2.1]).within(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ratios([])

@@ -1,0 +1,141 @@
+"""Tests for the baseline algorithms (Khan [14], spanner [17], MST)."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    exact_mst_edges,
+    exact_mst_weight,
+    khan_steiner_forest,
+    spanner_steiner_forest,
+)
+from repro.baselines.mst import mst_instance
+from repro.baselines.spanner import greedy_spanner
+from repro.core import distributed_moat_growing
+from repro.exact import steiner_forest_cost
+from repro.model import SteinerForestInstance
+from tests.conftest import make_random_instance
+
+
+class TestKhan:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_feasible(self, seed):
+        inst = make_random_instance(seed)
+        result = khan_steiner_forest(inst, rng=random.Random(seed))
+        result.solution.assert_feasible(inst)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_logn_ratio_shape(self, seed):
+        inst = make_random_instance(seed)
+        opt = steiner_forest_cost(inst)
+        result = khan_steiner_forest(inst, rng=random.Random(seed))
+        if opt > 0:
+            n = inst.graph.num_nodes
+            assert result.solution.weight <= 8 * math.log2(n) * opt
+
+    def test_rounds_positive(self):
+        inst = make_random_instance(0)
+        result = khan_steiner_forest(inst)
+        assert result.rounds > 0
+
+
+class TestSpanner:
+    def test_greedy_spanner_stretch(self):
+        rng = random.Random(3)
+        points = list(range(8))
+        metric = {
+            u: {v: 0 for v in points} for u in points
+        }
+        for i, u in enumerate(points):
+            for v in points[i + 1:]:
+                d = rng.randint(1, 50)
+                metric[u][v] = d
+                metric[v][u] = d
+        # Fix triangle inequality by shortest-pathing the random metric.
+        import itertools
+
+        for m in points:
+            for u in points:
+                for v in points:
+                    if metric[u][m] + metric[m][v] < metric[u][v]:
+                        metric[u][v] = metric[u][m] + metric[m][v]
+        stretch = 3
+        edges = greedy_spanner(points, metric, stretch)
+        # Verify stretch via Dijkstra on the spanner.
+        adjacency = {p: [] for p in points}
+        for u, v in edges:
+            adjacency[u].append((v, metric[u][v]))
+            adjacency[v].append((u, metric[u][v]))
+
+        import heapq
+
+        def sp_dist(a, b):
+            dist = {a: 0}
+            heap = [(0, a)]
+            while heap:
+                d, x = heapq.heappop(heap)
+                if x == b:
+                    return d
+                if d > dist.get(x, d):
+                    continue
+                for y, w in adjacency[x]:
+                    if d + w < dist.get(y, math.inf):
+                        dist[y] = d + w
+                        heapq.heappush(heap, (dist[y], y))
+            return math.inf
+
+        for i, u in enumerate(points):
+            for v in points[i + 1:]:
+                assert sp_dist(u, v) <= stretch * metric[u][v]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_feasible(self, seed):
+        inst = make_random_instance(seed)
+        result = spanner_steiner_forest(inst)
+        result.solution.assert_feasible(inst)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_ratio_at_most_2_stretch(self, seed):
+        """2-approx on the spanner × spanner stretch."""
+        inst = make_random_instance(seed)
+        opt = steiner_forest_cost(inst)
+        result = spanner_steiner_forest(inst)
+        if opt > 0:
+            assert result.solution.weight <= 2 * result.stretch * opt
+
+    def test_trivial_instance(self, grid33):
+        inst = SteinerForestInstance(grid33, {0: "x"})
+        result = spanner_steiner_forest(inst)
+        assert result.solution.edges == frozenset()
+
+
+class TestMST:
+    def test_kruskal_matches_networkx(self, rng):
+        g = nx.gnp_random_graph(12, 0.5, seed=8)
+        if not nx.is_connected(g):
+            g = nx.compose(g, nx.path_graph(12))
+        for u, v in g.edges:
+            g[u][v]["weight"] = rng.randint(1, 30)
+        from repro.model import WeightedGraph
+
+        wg = WeightedGraph.from_networkx(g)
+        expected = sum(
+            d["weight"]
+            for _, _, d in nx.minimum_spanning_tree(g).edges(data=True)
+        )
+        assert exact_mst_weight(wg) == expected
+        assert len(exact_mst_edges(wg)) == wg.num_nodes - 1
+
+    def test_mst_instance_spans_all(self, grid33):
+        inst = mst_instance(grid33)
+        assert inst.num_terminals == grid33.num_nodes
+        assert inst.num_components == 1
+
+    def test_deterministic_algorithm_solves_mst_exactly(self, grid33):
+        """Section 1: the moat algorithm specializes to exact MST."""
+        inst = mst_instance(grid33)
+        result = distributed_moat_growing(inst)
+        assert result.solution.weight == exact_mst_weight(grid33)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolve:
+    def test_default_algorithm(self, capsys):
+        assert main(["solve", "--n", "12", "--k", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "weight" in out
+        assert "rounds" in out
+
+    def test_exact_flag(self, capsys):
+        code = main(
+            ["solve", "--n", "10", "--k", "2", "--seed", "2", "--exact"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimum" in out
+        assert "ratio" in out
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["moat", "rounded", "distributed", "randomized", "spanner"],
+    )
+    def test_each_algorithm(self, algorithm, capsys):
+        code = main(
+            [
+                "solve",
+                "--n", "10",
+                "--k", "2",
+                "--seed", "3",
+                "--algorithm", algorithm,
+            ]
+        )
+        assert code == 0
+
+
+class TestCompare:
+    def test_prints_all_rows(self, capsys):
+        assert main(["compare", "--n", "10", "--k", "2", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        for name in ("moat", "distributed", "randomized", "khan", "spanner"):
+            assert name in out
+
+
+class TestGadget:
+    def test_ic_gadget(self, capsys):
+        assert main(["gadget", "--kind", "ic", "--universe", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "dichotomy : holds" in out
+
+    def test_cr_gadget_intersecting(self, capsys):
+        code = main(
+            ["gadget", "--kind", "cr", "--universe", "5", "--intersecting"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "A∩B≠∅     : True" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,71 @@
+"""Tests for the CONGEST ledger: rounds, congestion, cut metering."""
+
+import pytest
+
+from repro.congest import CongestRun
+from repro.exceptions import CongestViolationError, SimulationError
+
+
+class TestLedger:
+    def test_tick_advances_round(self, path5):
+        run = CongestRun(path5)
+        run.tick()
+        assert run.rounds == 1
+
+    def test_tick_counts_messages(self, path5):
+        run = CongestRun(path5)
+        run.tick({(0, 1): 1, (1, 2): 1})
+        assert run.messages == 2
+        assert run.bits == 2 * run.bandwidth_bits
+
+    def test_tick_rejects_two_messages_per_edge(self, path5):
+        run = CongestRun(path5)
+        with pytest.raises(CongestViolationError):
+            run.tick({(0, 1): 2})
+
+    def test_tick_rejects_non_edges(self, path5):
+        run = CongestRun(path5)
+        with pytest.raises(CongestViolationError):
+            run.tick({(0, 4): 1})
+
+    def test_opposite_directions_both_allowed(self, path5):
+        run = CongestRun(path5)
+        run.tick({(0, 1): 1, (1, 0): 1})
+        assert run.messages == 2
+
+    def test_charge_rounds(self, path5):
+        run = CongestRun(path5)
+        run.charge_rounds(10, "test")
+        assert run.rounds == 10
+
+    def test_charge_negative_rejected(self, path5):
+        run = CongestRun(path5)
+        with pytest.raises(ValueError):
+            run.charge_rounds(-1)
+
+    def test_max_rounds_guard(self, path5):
+        run = CongestRun(path5, max_rounds=3)
+        with pytest.raises(SimulationError):
+            for _ in range(5):
+                run.tick()
+
+    def test_bandwidth_default_is_logarithmic(self, path5):
+        run = CongestRun(path5)
+        assert run.bandwidth_bits == 4 * 3  # ceil(log2 5) = 3
+
+    def test_phase_attribution(self, path5):
+        run = CongestRun(path5)
+        run.set_phase("alpha")
+        run.tick()
+        run.charge_rounds(2)
+        run.set_phase("beta")
+        run.tick()
+        assert run.phase_rounds == {"alpha": 3, "beta": 1}
+
+    def test_cut_metering(self, path5):
+        run = CongestRun(path5)
+        run.tick({(1, 2): 1, (3, 4): 1})
+        run.tick({(2, 1): 1})
+        assert run.cut_messages([(1, 2)]) == 2
+        assert run.cut_bits([(1, 2)]) == 2 * run.bandwidth_bits
+        assert run.cut_messages([(0, 1)]) == 0

@@ -1,0 +1,104 @@
+"""Tests for the distributed deterministic algorithm (Theorem 4.17)."""
+
+import pytest
+
+from repro.congest import CongestRun
+from repro.core import distributed_moat_growing, moat_growing
+from repro.exact import steiner_forest_cost
+from repro.model import SteinerForestInstance
+from tests.conftest import make_random_instance
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_centralized_weight(self, seed):
+        """The emulation reproduces Algorithm 1's output weight
+        (Lemma 4.13: same merges, same paths up to tie-breaking)."""
+        inst = make_random_instance(seed, max_weight=40)
+        central = moat_growing(inst)
+        dist = distributed_moat_growing(inst)
+        assert dist.solution.weight == central.solution.weight
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_two_approximation(self, seed):
+        inst = make_random_instance(seed)
+        opt = steiner_forest_cost(inst)
+        dist = distributed_moat_growing(inst)
+        dist.solution.assert_feasible(inst)
+        if opt > 0:
+            assert dist.solution.weight <= 2 * opt
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_merge_sequence_matches_centralized(self, seed):
+        """Merge multisets {terminal pairs} agree with Algorithm 1
+        (merge order within a phase may permute at equal µ)."""
+        inst = make_random_instance(seed, max_weight=50)
+        central = moat_growing(inst)
+        dist = distributed_moat_growing(inst)
+        central_pairs = sorted(
+            tuple(sorted((repr(e.v), repr(e.w)))) for e in central.events
+        )
+        dist_pairs = sorted(
+            tuple(sorted((repr(m.terminal_a), repr(m.terminal_b))))
+            for m in dist.merges
+        )
+        assert central_pairs == dist_pairs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_phase_bound(self, seed):
+        """Lemma 4.4: at most 2k merge phases."""
+        inst = make_random_instance(seed)
+        dist = distributed_moat_growing(inst)
+        assert dist.num_phases <= 2 * inst.num_components
+
+    def test_trivial_instance_no_phases(self, grid33):
+        inst = SteinerForestInstance(grid33, {0: "x"})
+        dist = distributed_moat_growing(inst)
+        assert dist.solution.edges == frozenset()
+        assert dist.num_phases == 0
+
+    def test_mst_special_case(self, grid33):
+        import networkx as nx
+
+        inst = SteinerForestInstance(grid33, {v: 0 for v in grid33.nodes})
+        dist = distributed_moat_growing(inst)
+        mst = nx.minimum_spanning_tree(grid33.to_networkx())
+        expected = sum(d["weight"] for _, _, d in mst.edges(data=True))
+        assert dist.solution.weight == expected
+
+
+class TestRoundComplexity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_rounds_within_O_ks_plus_t(self, seed):
+        """Theorem 4.17's shape: rounds ≤ c(k·s + t + D)."""
+        inst = make_random_instance(seed)
+        dist = distributed_moat_growing(inst)
+        graph = inst.graph
+        s = graph.shortest_path_diameter()
+        k = inst.num_components
+        t = inst.num_terminals
+        d = graph.unweighted_diameter()
+        bound = 40 * (2 * k * (s + d) + t + d + 1)
+        assert dist.rounds <= bound
+
+    def test_phase_breakdown_recorded(self):
+        inst = make_random_instance(0)
+        dist = distributed_moat_growing(inst)
+        assert "setup" in dist.run.phase_rounds
+        assert any(
+            name.startswith("phase-") for name in dist.run.phase_rounds
+        )
+
+    def test_external_run_ledger_reused(self):
+        inst = make_random_instance(1)
+        run = CongestRun(inst.graph)
+        dist = distributed_moat_growing(inst, run)
+        assert dist.run is run
+        assert run.rounds == dist.rounds
+
+    def test_congestion_never_violated(self):
+        """The simulation enforces one message per edge per round; a
+        completed run certifies no violation occurred."""
+        inst = make_random_instance(2)
+        dist = distributed_moat_growing(inst)
+        assert dist.run.messages > 0

@@ -1,0 +1,140 @@
+"""Tests for the exact solvers (Dreyfus–Wagner and partition DP)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.exact import (
+    brute_force_forest_cost,
+    steiner_forest_cost,
+    steiner_tree_cost,
+    steiner_tree_edges,
+)
+from repro.exact.steiner_forest import _set_partitions, optimal_forest_edges
+from repro.model import ForestSolution, SteinerForestInstance, WeightedGraph
+from repro.model.instance import instance_from_components
+from tests.conftest import make_random_instance
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        for n, bell in [(0, 1), (1, 1), (2, 2), (3, 5), (4, 15)]:
+            assert len(list(_set_partitions(list(range(n))))) == bell
+
+    def test_partitions_cover(self):
+        for partition in _set_partitions([1, 2, 3]):
+            flattened = sorted(x for block in partition for x in block)
+            assert flattened == [1, 2, 3]
+
+
+class TestSteinerTree:
+    def test_two_terminals_is_shortest_path(self, triangle):
+        assert steiner_tree_cost(triangle, [0, 2]) == triangle.distance(0, 2)
+
+    def test_single_terminal_zero(self, triangle):
+        assert steiner_tree_cost(triangle, [0]) == 0
+
+    def test_all_nodes_is_mst(self, grid33):
+        import networkx as nx
+
+        mst = nx.minimum_spanning_tree(grid33.to_networkx())
+        expected = sum(d["weight"] for _, _, d in mst.edges(data=True))
+        assert steiner_tree_cost(grid33, grid33.nodes) == expected
+
+    def test_steiner_node_used(self):
+        """Classic: star where the optimum routes through a non-terminal."""
+        g = WeightedGraph(
+            range(4),
+            [(3, 0, 1), (3, 1, 1), (3, 2, 1), (0, 1, 2), (1, 2, 2), (0, 2, 2)],
+        )
+        assert steiner_tree_cost(g, [0, 1, 2]) == 3  # via center 3
+
+    def test_edges_reconstruction_matches_cost(self, grid33):
+        terminals = [0, 2, 6, 8]
+        cost = steiner_tree_cost(grid33, terminals)
+        edges = steiner_tree_edges(grid33, terminals)
+        assert grid33.edge_weight_sum(edges) == cost
+        sol = ForestSolution(grid33, edges)
+        inst = SteinerForestInstance(
+            grid33, {v: "x" for v in terminals}
+        )
+        assert sol.is_feasible(inst)
+
+    def test_matches_networkx_approx_lower(self, rng):
+        """networkx's 2-approx is never better than our exact optimum."""
+        from networkx.algorithms.approximation import steiner_tree
+
+        g = nx.gnp_random_graph(10, 0.5, seed=3)
+        if not nx.is_connected(g):
+            g = nx.compose(g, nx.path_graph(10))
+        for u, v in g.edges:
+            g[u][v]["weight"] = rng.randint(1, 9)
+        wg = WeightedGraph.from_networkx(g)
+        terminals = [0, 3, 7, 9]
+        approx = steiner_tree(g, terminals, weight="weight")
+        approx_cost = sum(d["weight"] for _, _, d in approx.edges(data=True))
+        assert steiner_tree_cost(wg, terminals) <= approx_cost
+
+
+class TestSteinerForest:
+    def test_matches_brute_force(self):
+        for seed in range(6):
+            rng = random.Random(seed)
+            g = nx.gnp_random_graph(7, 0.5, seed=seed)
+            if not nx.is_connected(g):
+                g = nx.compose(g, nx.path_graph(7))
+            g = nx.Graph(g)
+            if g.number_of_edges() > 15:
+                g.remove_edges_from(
+                    list(g.edges)[15:]
+                )
+                if not nx.is_connected(g):
+                    g = nx.compose(g, nx.path_graph(7))
+            for u, v in g.edges:
+                g[u][v]["weight"] = rng.randint(1, 9)
+            wg = WeightedGraph.from_networkx(g)
+            inst = instance_from_components(wg, [[0, 3], [1, 5]])
+            assert steiner_forest_cost(inst) == brute_force_forest_cost(inst)
+
+    def test_merging_components_can_help(self):
+        """Two demand pairs sharing an expensive bridge: the optimal forest
+        joins them into one tree."""
+        # a1-a2 cheap, b1-b2 cheap, but both pairs split across a bridge.
+        g = WeightedGraph(
+            ["a1", "b1", "m1", "m2", "a2", "b2"],
+            [
+                ("a1", "m1", 1),
+                ("b1", "m1", 1),
+                ("m1", "m2", 5),
+                ("m2", "a2", 1),
+                ("m2", "b2", 1),
+            ],
+        )
+        inst = SteinerForestInstance(
+            g, {"a1": "a", "a2": "a", "b1": "b", "b2": "b"}
+        )
+        # Separate trees would pay the bridge twice (impossible here: the
+        # bridge is shared, so OPT = 9 via one merged tree).
+        assert steiner_forest_cost(inst) == 9
+
+    def test_empty_instance(self, grid33):
+        inst = SteinerForestInstance(grid33, {})
+        assert steiner_forest_cost(inst) == 0
+
+    def test_singletons_ignored(self, grid33):
+        inst = SteinerForestInstance(grid33, {0: "a", 8: "b"})
+        assert steiner_forest_cost(inst) == 0
+
+    def test_optimal_edges_feasible_and_match_cost(self):
+        inst = make_random_instance(42, n_range=(8, 10), k_range=(2, 2))
+        edges = optimal_forest_edges(inst)
+        cost = steiner_forest_cost(inst)
+        sol = ForestSolution(inst.graph, edges)
+        assert sol.is_feasible(inst)
+        assert sol.weight == cost
+
+    def test_brute_force_caps_edges(self, grid44):
+        inst = SteinerForestInstance(grid44, {0: "a", 15: "a"})
+        with pytest.raises(ValueError):
+            brute_force_forest_cost(inst, max_edges=5)

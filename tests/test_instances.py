@@ -1,0 +1,96 @@
+"""Unit tests for problem instances and their invariants."""
+
+import pytest
+
+from repro.exceptions import InstanceValidationError
+from repro.model import (
+    ConnectionRequestInstance,
+    SteinerForestInstance,
+    WeightedGraph,
+)
+from repro.model.instance import instance_from_components
+
+
+class TestSteinerForestInstance:
+    def test_parameters(self, grid44):
+        inst = SteinerForestInstance(
+            grid44, {0: "a", 15: "a", 3: "b", 12: "b", 5: "c"}
+        )
+        assert inst.num_terminals == 5
+        assert inst.num_components == 3
+        assert inst.terminals == frozenset({0, 3, 5, 12, 15})
+
+    def test_components_grouping(self, grid44):
+        inst = SteinerForestInstance(grid44, {0: "a", 15: "a", 3: "b"})
+        assert inst.components["a"] == frozenset({0, 15})
+        assert inst.components["b"] == frozenset({3})
+
+    def test_label_lookup(self, grid44):
+        inst = SteinerForestInstance(grid44, {0: "a"})
+        assert inst.label(0) == "a"
+        assert inst.label(1) is None
+
+    def test_minimality(self, grid44):
+        minimal = SteinerForestInstance(grid44, {0: "a", 15: "a"})
+        assert minimal.is_minimal()
+        non_minimal = SteinerForestInstance(grid44, {0: "a", 15: "a", 3: "b"})
+        assert not non_minimal.is_minimal()
+
+    def test_trivial(self, grid44):
+        assert SteinerForestInstance(grid44, {0: "a"}).is_trivial()
+        assert SteinerForestInstance(grid44, {}).is_trivial()
+        assert not SteinerForestInstance(grid44, {0: "a", 1: "a"}).is_trivial()
+
+    def test_component_pairs(self, grid44):
+        inst = SteinerForestInstance(grid44, {0: "a", 15: "a", 1: "a"})
+        pairs = inst.component_pairs()
+        assert len(pairs) == 3  # clique on 3 terminals
+
+    def test_rejects_unknown_terminal(self, grid44):
+        with pytest.raises(InstanceValidationError):
+            SteinerForestInstance(grid44, {99: "a"})
+
+    def test_rejects_none_label(self, grid44):
+        with pytest.raises(InstanceValidationError):
+            SteinerForestInstance(grid44, {0: None})
+
+    def test_instance_from_components(self, grid44):
+        inst = instance_from_components(grid44, [[0, 15], [3, 12]])
+        assert inst.num_components == 2
+        assert inst.label(0) == inst.label(15)
+        assert inst.label(0) != inst.label(3)
+
+    def test_instance_from_overlapping_components_rejected(self, grid44):
+        with pytest.raises(InstanceValidationError):
+            instance_from_components(grid44, [[0, 15], [15, 3]])
+
+
+class TestConnectionRequestInstance:
+    def test_terminals_include_targets(self, grid44):
+        inst = ConnectionRequestInstance(grid44, {0: {15}})
+        assert inst.terminals == frozenset({0, 15})
+        assert inst.num_terminals == 2
+
+    def test_demand_pairs_deduplicated(self, grid44):
+        inst = ConnectionRequestInstance(grid44, {0: {15}, 15: {0}})
+        assert inst.demand_pairs() == [(0, 15)]
+
+    def test_asymmetric_requests_allowed(self, grid44):
+        # The Lemma 3.1 reduction uses asymmetric requests.
+        inst = ConnectionRequestInstance(grid44, {0: {15}})
+        assert inst.requests_of(0) == frozenset({15})
+        assert inst.requests_of(15) == frozenset()
+
+    def test_empty_request_sets_dropped(self, grid44):
+        inst = ConnectionRequestInstance(grid44, {0: set()})
+        assert inst.num_terminals == 0
+
+    def test_rejects_self_request(self, grid44):
+        with pytest.raises(InstanceValidationError):
+            ConnectionRequestInstance(grid44, {0: {0}})
+
+    def test_rejects_unknown_nodes(self, grid44):
+        with pytest.raises(InstanceValidationError):
+            ConnectionRequestInstance(grid44, {0: {99}})
+        with pytest.raises(InstanceValidationError):
+            ConnectionRequestInstance(grid44, {99: {0}})

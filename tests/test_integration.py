@@ -1,0 +1,93 @@
+"""End-to-end integration tests: all algorithms on shared instances."""
+
+import random
+
+import pytest
+
+from repro.baselines import khan_steiner_forest, spanner_steiner_forest
+from repro.core import (
+    distributed_moat_growing,
+    moat_growing,
+    rounded_moat_growing,
+    sublinear_moat_growing,
+)
+from repro.exact import steiner_forest_cost
+from repro.randomized import randomized_steiner_forest
+from repro.workloads import grid_instance, random_instance, ring_of_blobs, terminals_on_graph
+from tests.conftest import make_random_instance
+
+
+class TestAllAlgorithmsAgree:
+    """Every solver must be feasible; ratio ordering sanity per theory."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_full_pipeline(self, seed):
+        inst = make_random_instance(seed, n_range=(10, 14))
+        opt = steiner_forest_cost(inst)
+        if opt == 0:
+            pytest.skip("trivial instance")
+
+        results = {
+            "moat": moat_growing(inst).solution,
+            "rounded": rounded_moat_growing(inst, 0.5).solution,
+            "distributed": distributed_moat_growing(inst).solution,
+            "sublinear": sublinear_moat_growing(inst, 0.5).solution,
+            "randomized": randomized_steiner_forest(
+                inst, rng=random.Random(seed)
+            ).solution,
+            "khan": khan_steiner_forest(
+                inst, rng=random.Random(seed)
+            ).solution,
+            "spanner": spanner_steiner_forest(inst).solution,
+        }
+        for name, solution in results.items():
+            solution.assert_feasible(inst)
+        assert results["moat"].weight <= 2 * opt
+        assert results["rounded"].weight <= 2.5 * opt
+        assert results["distributed"].weight == results["moat"].weight
+        assert results["sublinear"].weight == results["rounded"].weight
+
+    def test_grid_workload(self):
+        inst = grid_instance(4, 5, 3, random.Random(2))
+        det = distributed_moat_growing(inst)
+        det.solution.assert_feasible(inst)
+        rand = randomized_steiner_forest(inst, rng=random.Random(2))
+        rand.solution.assert_feasible(inst)
+
+    def test_ring_of_blobs_workload(self):
+        rng = random.Random(8)
+        graph = ring_of_blobs(5, 3, rng)
+        inst = terminals_on_graph(graph, 2, 2, rng)
+        det = distributed_moat_growing(inst)
+        det.solution.assert_feasible(inst)
+
+
+class TestRoundComplexityOrdering:
+    def test_deterministic_rounds_grow_with_k(self):
+        """O(ks + t): more components, more phases, more rounds —
+        measured on a fixed graph with increasing k."""
+        rng = random.Random(6)
+        graph = ring_of_blobs(6, 3, rng)
+        rounds = []
+        for k in (1, 3):
+            inst = terminals_on_graph(graph, k, 2, random.Random(4))
+            rounds.append(distributed_moat_growing(inst).rounds)
+        assert rounds[0] <= rounds[1]
+
+    def test_randomized_beats_khan_at_high_k(self):
+        """Abstract's headline: Õ(s + k) vs Õ(sk) — at sufficiently many
+        components on an s-heavy graph, the improved selection wins."""
+        rng = random.Random(10)
+        graph = ring_of_blobs(8, 3, rng)
+        inst = terminals_on_graph(graph, 6, 2, random.Random(3))
+        ours = randomized_steiner_forest(
+            inst, rng=random.Random(1), force_truncation=False
+        )
+        khan = khan_steiner_forest(inst, rng=random.Random(1))
+        # Same embedding machinery; ours pipelines per destination. The
+        # routing-round comparison is the paper's claim; total rounds also
+        # include shared construction overhead, so compare routing rounds.
+        assert (
+            ours.first_stage.routing_rounds
+            <= khan.first_stage.routing_rounds
+        )

@@ -1,0 +1,178 @@
+"""Direct tests for internals not covered via the top-level APIs."""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.baselines.spanner import greedy_spanner
+from repro.congest import CongestRun, build_bfs_tree, upcast_items
+from repro.core.pruning import _grow_clusters
+from repro.model import SteinerForestInstance, WeightedGraph
+from repro.model.instance import instance_from_components
+from repro.randomized import build_embedding, first_stage_selection
+from repro.randomized.reduced import build_reduced_instance
+from repro.workloads import random_connected_graph, terminals_on_graph
+
+
+class TestGrowClusters:
+    def _star_adjacency(self, n):
+        adjacency = {0: set(range(1, n))}
+        for i in range(1, n):
+            adjacency[i] = {0}
+        return adjacency
+
+    def test_partitions_all_nodes(self):
+        adjacency = self._star_adjacency(9)
+        component = set(range(9))
+        leader, _ = _grow_clusters(component, adjacency, sigma=3)
+        assert set(leader) == component
+        # Leaders are members of their own cluster.
+        for v, c in leader.items():
+            assert leader[c] == c
+
+    def test_path_component_clusters_reach_sigma(self):
+        n = 16
+        adjacency = {i: set() for i in range(n)}
+        for i in range(n - 1):
+            adjacency[i].add(i + 1)
+            adjacency[i + 1].add(i)
+        leader, iterations = _grow_clusters(set(range(n)), adjacency, 4)
+        sizes = {}
+        for v in range(n):
+            sizes[leader[v]] = sizes.get(leader[v], 0) + 1
+        assert all(size >= 2 for size in sizes.values())
+        assert iterations <= math.ceil(math.log2(4)) + 1
+
+    def test_sigma_one_keeps_singletons(self):
+        adjacency = {0: {1}, 1: {0}}
+        leader, _ = _grow_clusters({0, 1}, adjacency, 1)
+        assert leader[0] != leader[1] or leader[0] == leader[1]  # total map
+        assert set(leader) == {0, 1}
+
+
+class TestGreedySpanner:
+    def _metric(self, graph):
+        return graph.all_pairs_distances()
+
+    def test_stretch_one_gives_near_complete(self):
+        graph = random_connected_graph(8, 0.5, random.Random(1))
+        nodes = list(graph.nodes)
+        metric = self._metric(graph)
+        edges = greedy_spanner(nodes, metric, stretch=1)
+        # Stretch 1: every pair must be exactly spanned, so edge count is
+        # large (at least a spanning structure of the metric's tight pairs).
+        assert len(edges) >= len(nodes) - 1
+
+    def test_high_stretch_sparse(self):
+        graph = random_connected_graph(12, 0.6, random.Random(2))
+        nodes = list(graph.nodes)
+        metric = self._metric(graph)
+        sparse = greedy_spanner(nodes, metric, stretch=15)
+        dense = greedy_spanner(nodes, metric, stretch=1)
+        assert len(sparse) <= len(dense)
+        assert len(sparse) >= len(nodes) - 1  # still connected
+
+    def test_connectivity(self):
+        graph = random_connected_graph(10, 0.4, random.Random(3))
+        nodes = list(graph.nodes)
+        edges = greedy_spanner(nodes, self._metric(graph), stretch=3)
+        from repro.util import UnionFind
+
+        uf = UnionFind(nodes)
+        for u, v in edges:
+            uf.union(u, v)
+        assert uf.num_sets == 1
+
+
+class TestEmbeddingAccessors:
+    def test_virtual_edge_weight(self, grid33):
+        run = CongestRun(grid33)
+        emb = build_embedding(grid33, run, random.Random(0))
+        assert emb.virtual_edge_weight(0) == emb.beta
+        assert emb.virtual_edge_weight(3) == emb.beta * 8
+
+    def test_ancestor_at_untruncated(self, grid33):
+        run = CongestRun(grid33)
+        emb = build_embedding(grid33, run, random.Random(0))
+        for v in grid33.nodes:
+            target, truncated = emb.ancestor_at(v, 0)
+            assert not truncated
+            assert target == emb.ancestors[v][0]
+
+    def test_ancestor_at_truncated(self, grid44):
+        run = CongestRun(grid44)
+        emb = build_embedding(
+            grid44, run, random.Random(1), truncate_at=4
+        )
+        for v in grid44.nodes:
+            if emb.truncation_level[v] < emb.levels:
+                target, truncated = emb.ancestor_at(
+                    v, emb.truncation_level[v]
+                )
+                assert truncated
+                assert target in emb.s_nodes
+
+
+class TestReducedInstanceMapping:
+    def test_map_back_returns_graph_edges(self):
+        graph = random_connected_graph(16, 0.3, random.Random(4))
+        inst = terminals_on_graph(graph, 2, 3, random.Random(4))
+        run = CongestRun(graph)
+        emb = build_embedding(
+            graph, run, random.Random(4), truncate_at=4
+        )
+        stage = first_stage_selection(inst, emb, run)
+        reduced = build_reduced_instance(inst, stage, emb.s_nodes, run)
+        if reduced is None:
+            pytest.skip("first stage resolved everything")
+        some_edges = list(reduced.instance.graph.edges())[:5]
+        mapped = reduced.map_back([(u, v) for u, v, _ in some_edges])
+        for u, v in mapped:
+            assert graph.has_edge(u, v)
+
+    def test_reduced_weights_are_minima(self):
+        graph = random_connected_graph(14, 0.35, random.Random(6))
+        inst = terminals_on_graph(graph, 2, 2, random.Random(6))
+        run = CongestRun(graph)
+        emb = build_embedding(
+            graph, run, random.Random(6), truncate_at=3
+        )
+        stage = first_stage_selection(inst, emb, run)
+        reduced = build_reduced_instance(inst, stage, emb.s_nodes, run)
+        if reduced is None:
+            pytest.skip("first stage resolved everything")
+        for u, v, w in reduced.instance.graph.edges():
+            iu, iv = reduced.inducing_edge[(u, v)]
+            assert graph.weight(iu, iv) == w
+
+
+class TestSelectionWithLargerComponents:
+    def test_three_terminal_components_resolve(self):
+        graph = random_connected_graph(15, 0.35, random.Random(8))
+        inst = terminals_on_graph(graph, 2, 3, random.Random(8))
+        run = CongestRun(graph)
+        emb = build_embedding(graph, run, random.Random(8))
+        stage = first_stage_selection(inst, emb, run)
+        from repro.model import ForestSolution
+
+        ForestSolution(graph, stage.edges).assert_feasible(inst)
+
+
+class TestCongestMisc:
+    def test_custom_bandwidth(self, path5):
+        run = CongestRun(path5, bandwidth_bits=10)
+        run.tick({(0, 1): 1})
+        assert run.bits == 10
+
+    def test_upcast_empty_items(self, grid33):
+        run = CongestRun(grid33)
+        tree = build_bfs_tree(grid33, run)
+        assert upcast_items(tree, {}, run) == []
+
+    def test_bfs_explicit_root(self, grid33):
+        run = CongestRun(grid33)
+        tree = build_bfs_tree(grid33, run, root=4)
+        assert tree.root == 4
+        assert tree.parent[4] is None

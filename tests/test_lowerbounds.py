@@ -1,0 +1,125 @@
+"""Tests for the Section 3 lower-bound gadgets and harness."""
+
+import random
+
+import pytest
+
+from repro.congest import CongestRun
+from repro.core import distributed_moat_growing
+from repro.lowerbounds import (
+    cr_dichotomy_holds,
+    dsf_cr_gadget,
+    dsf_ic_gadget,
+    ic_dichotomy_holds,
+    measure_cut_traffic,
+    path_gadget,
+    random_disjointness_sets,
+)
+
+
+class TestCrGadget:
+    def test_structure(self):
+        gadget = dsf_cr_gadget(5, {1, 2}, {3, 4})
+        graph = gadget.instance.graph
+        assert graph.num_nodes == 2 * 5 + 4
+        assert len(gadget.cut_edges) == 4
+        assert len(gadget.heavy_edges) == 2
+
+    def test_parameters_match_lemma(self):
+        """Lemma 3.1: t ≤ n and k ≤ 2; diameter at most 4."""
+        gadget = dsf_cr_gadget(6, {1, 2, 3}, {4, 5})
+        inst = gadget.instance
+        assert inst.num_terminals <= 2 * 6
+        assert inst.graph.unweighted_diameter() <= 4
+
+    def test_heavy_weight_formula(self):
+        rho, n = 3, 5
+        gadget = dsf_cr_gadget(n, {1}, {2}, rho=rho)
+        graph = gadget.instance.graph
+        heavy = max(w for _, _, w in graph.edges())
+        assert heavy == rho * (2 * n + 2) + 1
+
+    @pytest.mark.parametrize("intersecting", [False, True])
+    def test_dichotomy(self, intersecting):
+        rng = random.Random(17)
+        a, b = random_disjointness_sets(6, rng, intersecting)
+        gadget = dsf_cr_gadget(6, a, b)
+        assert gadget.intersecting == intersecting
+        assert cr_dichotomy_holds(gadget)
+
+    def test_explicit_disjoint(self):
+        gadget = dsf_cr_gadget(4, {1, 2}, {3, 4})
+        assert not gadget.intersecting
+        assert cr_dichotomy_holds(gadget)
+
+    def test_explicit_intersecting(self):
+        gadget = dsf_cr_gadget(4, {1, 2}, {2, 3})
+        assert gadget.intersecting
+        assert cr_dichotomy_holds(gadget)
+
+
+class TestIcGadget:
+    def test_structure(self):
+        gadget = dsf_ic_gadget(5, {1, 2}, {2, 3})
+        graph = gadget.instance.graph
+        assert graph.num_nodes == 2 * 5 + 2
+        assert graph.unweighted_diameter() <= 4  # Lemma 3.3: diameter 3-ish
+        assert gadget.cut_edges == frozenset({gadget.bridge})
+
+    @pytest.mark.parametrize("intersecting", [False, True])
+    def test_dichotomy(self, intersecting):
+        rng = random.Random(23)
+        a, b = random_disjointness_sets(7, rng, intersecting)
+        gadget = dsf_ic_gadget(7, a, b)
+        assert ic_dichotomy_holds(gadget)
+
+    def test_k_bounded_by_universe(self):
+        gadget = dsf_ic_gadget(6, {1, 2, 3}, {2, 3, 4})
+        assert gadget.instance.num_components <= 6
+
+
+class TestCutTraffic:
+    def test_traffic_grows_with_universe(self):
+        """The Ω(k)-shaped cut traffic of Lemma 3.3."""
+        rng = random.Random(5)
+        sizes = [4, 8, 16]
+        bits = []
+        for universe in sizes:
+            a, b = random_disjointness_sets(universe, rng, True)
+            gadget = dsf_ic_gadget(universe, a, b)
+            bits.append(measure_cut_traffic(gadget))
+        assert bits[0] < bits[-1]
+
+    def test_custom_algorithm_hook(self):
+        gadget = dsf_ic_gadget(4, {1, 2}, {2, 3})
+        calls = []
+
+        def algo(instance, run):
+            calls.append(True)
+            distributed_moat_growing(instance, run)
+
+        bits = measure_cut_traffic(gadget, algorithm=algo)
+        assert calls and bits >= 0
+
+
+class TestPathGadget:
+    def test_parameters(self):
+        inst = path_gadget(15)
+        assert inst.num_terminals == 2
+        assert inst.num_components == 1
+        assert inst.graph.unweighted_diameter() == 2
+        assert inst.graph.shortest_path_diameter() == 15
+
+    def test_rounds_scale_with_s(self):
+        """Lemma 3.4's shape: rounds grow with s even at constant D."""
+        rounds = []
+        for length in (4, 16):
+            inst = path_gadget(length)
+            result = distributed_moat_growing(inst)
+            assert result.solution.weight == length  # the cheap path
+            rounds.append(result.rounds)
+        assert rounds[0] < rounds[1]
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            path_gadget(0)

@@ -1,0 +1,98 @@
+"""Tests for Cole–Vishkin colouring and proposal matching."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import (
+    cole_vishkin_coloring,
+    maximal_matching_from_proposals,
+)
+
+
+def _proper(colors, successor):
+    for v, succ in successor.items():
+        if succ is not None and succ != v:
+            if colors[v] == colors[succ]:
+                return False
+    return True
+
+
+class TestColoring:
+    def test_path_coloring_proper(self):
+        successor = {i: i + 1 for i in range(9)}
+        successor[9] = None
+        colors, _ = cole_vishkin_coloring(successor)
+        assert _proper(colors, successor)
+        assert max(colors.values()) <= 5
+
+    def test_cycle_coloring_proper(self):
+        successor = {i: (i + 1) % 7 for i in range(7)}
+        colors, _ = cole_vishkin_coloring(successor)
+        assert _proper(colors, successor)
+
+    def test_star_pseudoforest(self):
+        successor = {i: 0 for i in range(1, 6)}
+        successor[0] = None
+        colors, _ = cole_vishkin_coloring(successor)
+        assert _proper(colors, successor)
+
+    def test_iterations_logstar_small(self):
+        successor = {i: i + 1 for i in range(99)}
+        successor[99] = None
+        _, iterations = cole_vishkin_coloring(successor)
+        assert iterations <= 12  # log* 100 plus the shift-down passes
+
+    @given(st.integers(2, 60), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_functional_graphs_proper(self, n, seed):
+        rng = random.Random(seed)
+        successor = {}
+        for v in range(n):
+            choice = rng.randrange(n + 1)
+            successor[v] = None if choice == n or choice == v else choice
+        colors, _ = cole_vishkin_coloring(successor)
+        assert _proper(colors, successor)
+        assert max(colors.values()) <= 5
+
+
+class TestMatching:
+    def test_simple_mutual_proposal(self):
+        matching, _ = maximal_matching_from_proposals({1: 2, 2: 1})
+        assert matching == {(1, 2)}
+
+    def test_chain_breaks_into_matching(self):
+        matching, _ = maximal_matching_from_proposals({1: 2, 2: 3, 3: 4})
+        # Matched pairs must be disjoint.
+        used = [v for pair in matching for v in pair]
+        assert len(used) == len(set(used))
+        assert len(matching) >= 1
+
+    def test_proposal_to_non_proposer_excluded(self):
+        # 2 is not a proposer, so edge (1, 2) is not in F'_C.
+        matching, _ = maximal_matching_from_proposals({1: 2})
+        assert matching == set()
+
+    def test_maximality(self):
+        """No two unmatched vertices may share a proposal edge."""
+        rng = random.Random(9)
+        for _ in range(20):
+            n = rng.randint(2, 30)
+            proposal = {}
+            for v in range(n):
+                w = rng.randrange(n)
+                if w != v:
+                    proposal[v] = w
+            matching, _ = maximal_matching_from_proposals(proposal)
+            matched = {v for pair in matching for v in pair}
+            for v, w in proposal.items():
+                if w in proposal:  # edge of F'_C
+                    assert v in matched or w in matched, (proposal, matching)
+
+    def test_matching_disjoint(self):
+        rng = random.Random(4)
+        proposal = {v: (v + 1) % 20 for v in range(20)}
+        matching, _ = maximal_matching_from_proposals(proposal)
+        used = [v for pair in matching for v in pair]
+        assert len(used) == len(set(used))

@@ -1,0 +1,72 @@
+"""Tests for Algorithm 2 — rounded moat radii (Theorem 4.2)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.core.rounded import num_growth_phases, rounded_moat_growing
+from repro.exact import steiner_forest_cost
+from repro.model import SteinerForestInstance
+from tests.conftest import make_random_instance
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("eps", [Fraction(1, 10), Fraction(1, 2), 1])
+    def test_two_plus_eps_approximation(self, seed, eps):
+        inst = make_random_instance(seed)
+        opt = steiner_forest_cost(inst)
+        result = rounded_moat_growing(inst, eps)
+        result.solution.assert_feasible(inst)
+        if opt > 0:
+            assert result.solution.weight <= (2 + eps) * opt
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_growth_phase_count_logarithmic(self, seed):
+        """Lemma F.1: O(log_{1+ε/2} WD) growth phases."""
+        inst = make_random_instance(seed)
+        eps = Fraction(1, 2)
+        result = rounded_moat_growing(inst, eps)
+        wd = inst.graph.weighted_diameter()
+        bound = 2 + math.log(max(2, wd)) / math.log(1 + float(eps) / 2)
+        assert num_growth_phases(result) <= bound
+
+    def test_smaller_eps_gives_more_phases(self):
+        inst = make_random_instance(3, n_range=(12, 12))
+        fine = num_growth_phases(rounded_moat_growing(inst, Fraction(1, 10)))
+        coarse = num_growth_phases(rounded_moat_growing(inst, 2))
+        assert fine >= coarse
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_corollary_d1_dual_bound(self, seed):
+        """Corollary D.1: (1 + ε/2)·OPT ≥ Σ actᵢ µᵢ."""
+        inst = make_random_instance(seed)
+        opt = steiner_forest_cost(inst)
+        eps = Fraction(1, 2)
+        result = rounded_moat_growing(inst, eps)
+        assert result.dual_lower_bound <= (1 + eps / 2) * opt
+
+    def test_rejects_nonpositive_eps(self, grid33):
+        inst = SteinerForestInstance(grid33, {0: "x", 8: "x"})
+        with pytest.raises(ValueError):
+            rounded_moat_growing(inst, 0)
+
+    def test_checkpoints_have_no_path(self):
+        inst = make_random_instance(1)
+        result = rounded_moat_growing(inst, Fraction(1, 2))
+        for event in result.events:
+            if event.v is None:
+                assert event.path == []
+                assert event.added_edges == frozenset()
+
+    def test_trivial_instance(self, grid33):
+        inst = SteinerForestInstance(grid33, {0: "x"})
+        result = rounded_moat_growing(inst)
+        assert result.solution.edges == frozenset()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_float_eps_accepted(self, seed):
+        inst = make_random_instance(seed)
+        result = rounded_moat_growing(inst, 0.5)
+        result.solution.assert_feasible(inst)

@@ -1,0 +1,123 @@
+"""Tests for the generic node-program simulator."""
+
+import pytest
+
+from repro.congest import CongestRun
+from repro.congest.simulator import (
+    Context,
+    EchoBroadcast,
+    FloodMaxLeaderElection,
+    NodeProgram,
+    Simulator,
+)
+from repro.exceptions import CongestViolationError, SimulationError
+from repro.model import WeightedGraph
+
+
+class TestSimulatorCore:
+    def test_requires_program_per_node(self, path5):
+        with pytest.raises(SimulationError):
+            Simulator(path5, {0: FloodMaxLeaderElection()})
+
+    def test_send_to_non_neighbor_rejected(self, path5):
+        class Bad(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(4, "x")
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        sim = Simulator(path5, {v: Bad() for v in path5.nodes})
+        with pytest.raises(CongestViolationError):
+            sim.start()
+
+    def test_double_send_rejected(self, path5):
+        class Chatty(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(1, "a")
+                    ctx.send(1, "b")
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        sim = Simulator(path5, {v: Chatty() for v in path5.nodes})
+        with pytest.raises(CongestViolationError):
+            sim.start()
+
+    def test_rounds_charged_to_shared_ledger(self, path5):
+        run = CongestRun(path5)
+        programs = {v: FloodMaxLeaderElection() for v in path5.nodes}
+        sim = Simulator(path5, programs, run=run)
+        sim.run_to_completion()
+        assert run.rounds > 0
+        assert run.messages > 0
+
+    def test_non_terminating_program_guard(self, path5):
+        class Forever(NodeProgram):
+            def on_start(self, ctx):
+                for v in ctx.neighbors:
+                    ctx.send(v, "ping")
+
+            def on_round(self, ctx, inbox):
+                for v in ctx.neighbors:
+                    ctx.send(v, "ping")
+
+        sim = Simulator(path5, {v: Forever() for v in path5.nodes})
+        with pytest.raises(SimulationError):
+            sim.run_to_completion(max_rounds=10)
+
+    def test_edge_weight_accessor(self, triangle):
+        seen = {}
+
+        class Probe(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    seen["w"] = ctx.edge_weight(2)
+                ctx.halt()
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        Simulator(triangle, {v: Probe() for v in triangle.nodes}).start()
+        assert seen["w"] == 4
+
+
+class TestFloodMax:
+    def test_everyone_learns_max(self, grid44):
+        programs = {v: FloodMaxLeaderElection() for v in grid44.nodes}
+        sim = Simulator(grid44, programs)
+        rounds = sim.run_to_completion()
+        top = max(grid44.nodes, key=repr)
+        assert all(p.leader == top for p in programs.values())
+        # Diameter-ish rounds plus patience slack.
+        assert rounds <= grid44.unweighted_diameter() + 6
+
+    def test_on_path(self, path5):
+        programs = {v: FloodMaxLeaderElection() for v in path5.nodes}
+        Simulator(path5, programs).run_to_completion()
+        assert all(p.leader == 4 for p in programs.values())
+
+
+class TestEchoBroadcast:
+    def test_all_informed_with_parents(self, grid33):
+        root = 0
+        programs = {v: EchoBroadcast(root) for v in grid33.nodes}
+        Simulator(grid33, programs).run_to_completion()
+        assert all(p.informed for p in programs.values())
+        assert programs[root].parent is None
+        for v, p in programs.items():
+            if v != root:
+                assert p.parent is not None
+
+    def test_parent_pointers_reach_root(self, grid33):
+        root = 4
+        programs = {v: EchoBroadcast(root) for v in grid33.nodes}
+        Simulator(grid33, programs).run_to_completion()
+        for v in grid33.nodes:
+            x, hops = v, 0
+            while x != root:
+                x = programs[x].parent
+                hops += 1
+                assert hops <= grid33.num_nodes

@@ -1,0 +1,137 @@
+"""Unit tests for ForestSolution: feasibility, forests, minimal pruning."""
+
+import pytest
+
+from repro.exceptions import InfeasibleSolutionError
+from repro.model import (
+    ConnectionRequestInstance,
+    ForestSolution,
+    SteinerForestInstance,
+    WeightedGraph,
+)
+
+
+class TestBasics:
+    def test_weight(self, triangle):
+        sol = ForestSolution(triangle, [(0, 1), (1, 2)])
+        assert sol.weight == 3
+
+    def test_rejects_non_edges(self, path5):
+        with pytest.raises(InfeasibleSolutionError):
+            ForestSolution(path5, [(0, 4)])
+
+    def test_is_forest(self, triangle):
+        assert ForestSolution(triangle, [(0, 1), (1, 2)]).is_forest()
+        assert not ForestSolution(
+            triangle, [(0, 1), (1, 2), (0, 2)]
+        ).is_forest()
+
+    def test_edges_canonicalized(self, path5):
+        sol = ForestSolution(path5, [(1, 0)])
+        assert sol.edges == frozenset({(0, 1)})
+
+    def test_connects(self, path5):
+        sol = ForestSolution(path5, [(0, 1), (1, 2)])
+        assert sol.connects(0, 2)
+        assert not sol.connects(0, 4)
+
+    def test_components(self, path5):
+        sol = ForestSolution(path5, [(0, 1), (3, 4)])
+        comps = sorted(sorted(c) for c in sol.components())
+        assert comps == [[0, 1], [3, 4]]
+
+    def test_union(self, path5):
+        a = ForestSolution(path5, [(0, 1)])
+        b = ForestSolution(path5, [(1, 2)])
+        assert a.union(b).edges == frozenset({(0, 1), (1, 2)})
+
+
+class TestFeasibility:
+    def test_feasible_component(self, path5):
+        inst = SteinerForestInstance(path5, {0: "x", 2: "x"})
+        sol = ForestSolution(path5, [(0, 1), (1, 2)])
+        assert sol.is_feasible(inst)
+        sol.assert_feasible(inst)
+
+    def test_infeasible_raises(self, path5):
+        inst = SteinerForestInstance(path5, {0: "x", 4: "x"})
+        sol = ForestSolution(path5, [(0, 1)])
+        assert not sol.is_feasible(inst)
+        with pytest.raises(InfeasibleSolutionError):
+            sol.assert_feasible(inst)
+
+    def test_feasibility_for_requests(self, path5):
+        inst = ConnectionRequestInstance(path5, {0: {2}})
+        assert ForestSolution(path5, [(0, 1), (1, 2)]).is_feasible(inst)
+        assert not ForestSolution(path5, [(0, 1)]).is_feasible(inst)
+
+    def test_singleton_components_always_satisfied(self, path5):
+        inst = SteinerForestInstance(path5, {0: "x"})
+        assert ForestSolution(path5, []).is_feasible(inst)
+
+
+class TestMinimalSubforest:
+    def test_drops_dangling_edges(self, path5):
+        inst = SteinerForestInstance(path5, {0: "x", 2: "x"})
+        sol = ForestSolution(path5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        minimal = sol.minimal_subforest(inst)
+        assert minimal.edges == frozenset({(0, 1), (1, 2)})
+
+    def test_drops_internal_bridge_between_demands(self, path5):
+        """A path a-b-c-d with demands {a,b} and {c,d}: the middle edge is
+        internal (no leaf) yet unneeded — the classic case leaf-pruning
+        misses."""
+        inst = SteinerForestInstance(
+            path5, {0: "x", 1: "x", 3: "y", 4: "y"}
+        )
+        sol = ForestSolution(path5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        minimal = sol.minimal_subforest(inst)
+        assert minimal.edges == frozenset({(0, 1), (3, 4)})
+
+    def test_keeps_shared_star_center(self):
+        """Star with demands across opposite arms keeps all used arms."""
+        g = WeightedGraph(
+            range(5), [(0, i, 1) for i in range(1, 5)]
+        )
+        inst = SteinerForestInstance(g, {1: "x", 2: "x", 3: "y", 4: "y"})
+        sol = ForestSolution(g, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        minimal = sol.minimal_subforest(inst)
+        assert minimal.edges == sol.edges
+
+    def test_breaks_cycles_first(self, triangle):
+        inst = SteinerForestInstance(triangle, {0: "x", 2: "x"})
+        sol = ForestSolution(triangle, [(0, 1), (1, 2), (0, 2)])
+        minimal = sol.minimal_subforest(inst)
+        assert minimal.is_forest()
+        assert minimal.is_feasible(inst)
+        assert minimal.weight <= sol.weight
+
+    def test_minimality_every_edge_needed(self, grid44):
+        inst = SteinerForestInstance(grid44, {0: "x", 15: "x", 3: "y", 12: "y"})
+        full = ForestSolution(
+            grid44,
+            [(u, v) for u, v, _ in grid44.edges()][:0]
+        )
+        # Build a spanning tree solution then prune.
+        import networkx as nx
+
+        tree_edges = list(
+            nx.minimum_spanning_tree(grid44.to_networkx()).edges()
+        )
+        minimal = ForestSolution(grid44, tree_edges).minimal_subforest(inst)
+        # Removing any edge must break feasibility.
+        for edge in minimal.edges:
+            reduced = ForestSolution(
+                grid44, minimal.edges - {edge}
+            )
+            assert not reduced.is_feasible(inst)
+
+    def test_infeasible_input_rejected(self, path5):
+        inst = SteinerForestInstance(path5, {0: "x", 4: "x"})
+        with pytest.raises(InfeasibleSolutionError):
+            ForestSolution(path5, [(0, 1)]).minimal_subforest(inst)
+
+    def test_empty_demands_empty_result(self, path5):
+        inst = SteinerForestInstance(path5, {})
+        sol = ForestSolution(path5, [(0, 1)])
+        assert sol.minimal_subforest(inst).edges == frozenset()

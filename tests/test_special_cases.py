@@ -1,0 +1,67 @@
+"""Tests for the Section 1 special-case wrappers."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.baselines import exact_mst_weight
+from repro.core.special_cases import (
+    distributed_mst,
+    distributed_shortest_path,
+    distributed_steiner_tree,
+    steiner_tree_instance,
+)
+from repro.exact import steiner_tree_cost
+from repro.workloads import random_connected_graph
+
+
+class TestSteinerTree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_two_approximation(self, seed):
+        graph = random_connected_graph(14, 0.35, random.Random(seed))
+        rng = random.Random(seed + 100)
+        terminals = rng.sample(list(graph.nodes), 4)
+        result = distributed_steiner_tree(graph, terminals)
+        opt = steiner_tree_cost(graph, terminals)
+        inst = steiner_tree_instance(graph, terminals)
+        result.solution.assert_feasible(inst)
+        assert result.solution.weight <= 2 * opt
+
+    def test_single_component(self, grid33):
+        inst = steiner_tree_instance(grid33, [0, 8])
+        assert inst.num_components == 1
+
+
+class TestMst:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact(self, seed):
+        graph = random_connected_graph(10, 0.4, random.Random(seed))
+        result = distributed_mst(graph)
+        assert result.solution.weight == exact_mst_weight(graph)
+        # A spanning tree has exactly n - 1 edges.
+        assert len(result.solution.edges) == graph.num_nodes - 1
+
+    def test_rounds_reasonable(self, grid33):
+        result = distributed_mst(grid33)
+        assert result.rounds > 0
+
+
+class TestShortestPath:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_distance(self, seed):
+        graph = random_connected_graph(12, 0.35, random.Random(seed))
+        nodes = sorted(graph.nodes)
+        source, target = nodes[0], nodes[-1]
+        result, weight = distributed_shortest_path(graph, source, target)
+        assert weight == graph.distance(source, target)
+        assert result.solution.connects(source, target)
+
+    def test_path_is_a_path(self, grid44):
+        result, _ = distributed_shortest_path(grid44, 0, 15)
+        # Every node in the solution has degree ≤ 2 (a simple path).
+        degree = {}
+        for u, v in result.solution.edges:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        assert all(d <= 2 for d in degree.values())

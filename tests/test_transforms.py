@@ -1,0 +1,112 @@
+"""Tests for the DSF-CR ↔ DSF-IC transforms (Lemmas 2.3, 2.4)."""
+
+import pytest
+
+from repro.congest import (
+    CongestRun,
+    distributed_minimalize,
+    distributed_requests_to_components,
+)
+from repro.model import (
+    ConnectionRequestInstance,
+    ForestSolution,
+    SteinerForestInstance,
+)
+from repro.model.transforms import (
+    components_to_requests,
+    minimalize_instance,
+    requests_to_components,
+)
+from tests.conftest import make_random_instance
+
+
+class TestCentralizedTransforms:
+    def test_requests_to_components_merges_transitively(self, grid44):
+        cr = ConnectionRequestInstance(grid44, {0: {1}, 1: {2}, 5: {6}})
+        ic = requests_to_components(cr)
+        assert ic.label(0) == ic.label(1) == ic.label(2)
+        assert ic.label(5) == ic.label(6)
+        assert ic.label(0) != ic.label(5)
+
+    def test_requests_to_components_equivalent_feasible_sets(self, grid44):
+        cr = ConnectionRequestInstance(grid44, {0: {1}, 1: {2}})
+        ic = requests_to_components(cr)
+        path = ForestSolution(grid44, [(0, 1), (1, 2)])
+        assert path.is_feasible(cr) and path.is_feasible(ic)
+        partial = ForestSolution(grid44, [(0, 1)])
+        assert not partial.is_feasible(cr) and not partial.is_feasible(ic)
+
+    def test_minimalize_drops_singletons(self, grid44):
+        ic = SteinerForestInstance(grid44, {0: "a", 15: "a", 3: "b"})
+        minimal = minimalize_instance(ic)
+        assert minimal.is_minimal()
+        assert minimal.terminals == frozenset({0, 15})
+
+    def test_minimalize_identity_on_minimal(self, grid_instance_2comp):
+        assert (
+            minimalize_instance(grid_instance_2comp).labels
+            == grid_instance_2comp.labels
+        )
+
+    def test_components_to_requests_roundtrip(self, grid_instance_2comp):
+        cr = components_to_requests(grid_instance_2comp)
+        back = requests_to_components(cr)
+        # Same partition of terminals (labels may be renamed).
+        orig = sorted(
+            sorted(c) for c in grid_instance_2comp.components.values()
+        )
+        again = sorted(sorted(c) for c in back.components.values())
+        assert orig == again
+
+
+class TestDistributedTransforms:
+    def test_matches_centralized_requests(self, grid44):
+        cr = ConnectionRequestInstance(
+            grid44, {0: {15}, 15: {3}, 5: {6}, 9: {10, 11}}
+        )
+        run = CongestRun(grid44)
+        dist = distributed_requests_to_components(cr, run)
+        cent = requests_to_components(cr)
+        assert dist.labels == cent.labels
+        assert run.rounds > 0
+
+    def test_matches_centralized_minimalize(self, grid44):
+        ic = SteinerForestInstance(
+            grid44, {0: "a", 15: "a", 3: "b", 7: "c", 8: "c", 9: "c"}
+        )
+        run = CongestRun(grid44)
+        dist = distributed_minimalize(ic, run)
+        assert dist.labels == minimalize_instance(ic).labels
+
+    def test_requests_round_bound_O_D_plus_t(self, grid44):
+        """Lemma 2.3: O(D + t) rounds."""
+        cr = ConnectionRequestInstance(grid44, {0: {15}, 3: {12}, 5: {10}})
+        run = CongestRun(grid44)
+        distributed_requests_to_components(cr, run)
+        d = grid44.unweighted_diameter()
+        t = cr.num_terminals
+        assert run.rounds <= 12 * (d + t)
+
+    def test_minimalize_round_bound_O_D_plus_k(self, grid44):
+        """Lemma 2.4: O(D + k) rounds."""
+        ic = SteinerForestInstance(
+            grid44, {0: "a", 15: "a", 3: "b", 12: "b", 5: "c"}
+        )
+        run = CongestRun(grid44)
+        distributed_minimalize(ic, run)
+        d = grid44.unweighted_diameter()
+        k = ic.num_components
+        assert run.rounds <= 12 * (d + k)
+
+    def test_random_instances_match(self):
+        for seed in range(5):
+            ic = make_random_instance(seed)
+            cr = components_to_requests(ic)
+            run = CongestRun(ic.graph)
+            dist = distributed_requests_to_components(cr, run)
+            # Partitions agree with the original components.
+            orig = sorted(sorted(c) for c in ic.components.values()
+                          if len(c) >= 2)
+            got = sorted(sorted(c) for c in dist.components.values()
+                         if len(c) >= 2)
+            assert orig == got

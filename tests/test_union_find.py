@@ -1,0 +1,100 @@
+"""Unit tests for the union-find structure."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util import UnionFind
+
+
+class TestBasics:
+    def test_singletons_disconnected(self):
+        uf = UnionFind([1, 2, 3])
+        assert not uf.connected(1, 2)
+        assert uf.num_sets == 3
+
+    def test_union_connects(self):
+        uf = UnionFind([1, 2])
+        assert uf.union(1, 2)
+        assert uf.connected(1, 2)
+        assert uf.num_sets == 1
+
+    def test_union_cycle_returns_false(self):
+        uf = UnionFind([1, 2, 3])
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert not uf.union(1, 3)
+
+    def test_lazy_element_creation(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+
+    def test_transitivity(self):
+        uf = UnionFind(range(5))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(3, 4)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_set_size(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.set_size(2) == 3
+        assert uf.set_size(3) == 1
+
+    def test_sets_materialize(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        groups = sorted(sorted(s) for s in uf.sets())
+        assert groups == [[0, 1], [2], [3]]
+
+    def test_len_counts_elements(self):
+        uf = UnionFind([1, 2, 3])
+        uf.union(1, 2)
+        assert len(uf) == 3
+
+    def test_iter(self):
+        uf = UnionFind([1, 2])
+        assert sorted(uf) == [1, 2]
+
+    def test_hashable_mixed_types(self):
+        uf = UnionFind()
+        uf.union(("a", 1), ("b", 2))
+        assert uf.connected(("a", 1), ("b", 2))
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20))))
+    def test_connectivity_matches_graph_reachability(self, pairs):
+        """Union-find connectivity equals reachability in the edge list."""
+        uf = UnionFind(range(21))
+        adjacency = {i: set() for i in range(21)}
+        for a, b in pairs:
+            uf.union(a, b)
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+
+        def reachable(src, dst):
+            seen, stack = {src}, [src]
+            while stack:
+                x = stack.pop()
+                if x == dst:
+                    return True
+                for y in adjacency[x]:
+                    if y not in seen:
+                        seen.add(y)
+                        stack.append(y)
+            return src == dst
+
+        for a in (0, 7, 20):
+            for b in (3, 15):
+                assert uf.connected(a, b) == reachable(a, b)
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)),
+                    max_size=40))
+    def test_num_sets_decreases_by_successful_unions(self, pairs):
+        uf = UnionFind(range(16))
+        successes = sum(1 for a, b in pairs if uf.union(a, b))
+        assert uf.num_sets == 16 - successes

@@ -1,0 +1,68 @@
+"""Tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    grid_instance,
+    random_connected_graph,
+    random_geometric_graph,
+    random_instance,
+    ring_of_blobs,
+    terminals_on_graph,
+)
+
+
+class TestGraphGenerators:
+    def test_random_connected(self):
+        g = random_connected_graph(20, 0.2, random.Random(1))
+        assert g.num_nodes == 20
+        assert g.is_connected()
+
+    def test_deterministic_given_seed(self):
+        a = random_connected_graph(15, 0.3, random.Random(7))
+        b = random_connected_graph(15, 0.3, random.Random(7))
+        assert a.edge_set() == b.edge_set()
+        assert a.total_weight() == b.total_weight()
+
+    def test_geometric(self):
+        g = random_geometric_graph(15, 0.5, random.Random(2))
+        assert g.is_connected()
+        assert all(w >= 1 for _, _, w in g.edges())
+
+    def test_ring_of_blobs_s_scales_with_ring(self):
+        rng = random.Random(3)
+        small = ring_of_blobs(3, 4, rng)
+        rng = random.Random(3)
+        large = ring_of_blobs(9, 4, rng)
+        assert (
+            large.shortest_path_diameter() > small.shortest_path_diameter()
+        )
+
+    def test_ring_of_blobs_node_count(self):
+        g = ring_of_blobs(4, 5, random.Random(0))
+        assert g.num_nodes == 20
+
+
+class TestInstanceGenerators:
+    def test_terminals_disjoint(self):
+        g = random_connected_graph(20, 0.3, random.Random(5))
+        inst = terminals_on_graph(g, 4, 3, random.Random(5))
+        assert inst.num_components == 4
+        assert inst.num_terminals == 12
+
+    def test_too_many_terminals_rejected(self):
+        g = random_connected_graph(6, 0.5, random.Random(0))
+        with pytest.raises(ValueError):
+            terminals_on_graph(g, 4, 2, random.Random(0))
+
+    def test_random_instance(self):
+        inst = random_instance(18, 3, random.Random(4))
+        assert inst.num_components == 3
+        assert inst.graph.num_nodes == 18
+
+    def test_grid_instance(self):
+        inst = grid_instance(4, 4, 2, random.Random(6))
+        assert inst.graph.num_nodes == 16
+        assert inst.num_components == 2
