@@ -1,44 +1,48 @@
 """E2 — Theorem 4.2: Algorithm 2 (rounded radii) is a (2+ε)-approximation.
 
 Sweeps ε and measures ratio against the exact optimum plus the growth-phase
-count of Lemma F.1.
+count of Lemma F.1. The sweep runs through the experiment engine: ε travels
+in the spec's ``algo_grid`` (as a fraction string, keeping records exactly
+JSON-reproducible) and the exact optimum / ratio comes from the engine's
+``exact`` mode.
 """
 
-import random
 from fractions import Fraction
 
 from benchmarks.conftest import print_table
-from repro.core.rounded import num_growth_phases, rounded_moat_growing
-from repro.exact import steiner_forest_cost
-from repro.workloads import random_instance
+from repro.engine import ScenarioSpec, run_spec
 
-EPSILONS = (Fraction(1, 10), Fraction(1, 2), Fraction(1))
-SEEDS = range(8)
+EPSILONS = ("1/10", "1/2", "1")
+SPEC = ScenarioSpec(
+    name="e2-rounded-ratio",
+    family="gnp",
+    algorithms=("rounded",),
+    grid={"n": [10, 12, 14], "p": 0.35, "k": 2, "component_size": 2},
+    algo_grid={"eps": list(EPSILONS)},
+    seeds=2,
+    exact=True,
+    description="Algorithm 2 ratio and growth phases per ε",
+)
 
 
 def run_sweep():
+    stats = run_spec(SPEC, parallel=False)
+    by_eps = {}
+    for record in stats.records:
+        by_eps.setdefault(record["algo_params"]["eps"], []).append(
+            record["metrics"]
+        )
     rows = []
     for eps in EPSILONS:
-        worst = 0.0
-        phases = []
-        for seed in SEEDS:
-            rng = random.Random(seed)
-            inst = random_instance(
-                rng.randint(10, 14), rng.randint(1, 3), rng
-            )
-            opt = steiner_forest_cost(inst)
-            if opt == 0:
-                continue
-            result = rounded_moat_growing(inst, eps)
-            result.solution.assert_feasible(inst)
-            worst = max(worst, result.solution.weight / opt)
-            phases.append(num_growth_phases(result))
+        metrics = by_eps[eps]
+        worst = max(m["ratio"] for m in metrics)
+        phases = max(m["growth_phases"] for m in metrics)
         rows.append(
             (
-                f"{float(eps):.2f}",
+                f"{float(Fraction(eps)):.2f}",
                 f"{worst:.3f}",
-                f"{2 + float(eps):.2f}",
-                max(phases),
+                f"{2 + float(Fraction(eps)):.2f}",
+                phases,
             )
         )
     return rows

@@ -1,35 +1,44 @@
 """E4 — Corollary 4.21: the sublinear variant's Õ(sk + √min{st,n}) rounds.
 
-Sweeps the number of terminals t at fixed k on a fixed graph; the
-Section 4.1 algorithm pays O(t) additively while the Section 4.2 algorithm
-replaces it by √min{st, n} — the gap should widen as t grows.
+Sweeps the number of terminals t at fixed k; the Section 4.1 algorithm pays
+O(t) additively while the Section 4.2 algorithm replaces it by √min{st, n} —
+the gap should widen as t grows. The sweep is driven through the experiment
+engine: one :class:`ScenarioSpec` replaces the hand-rolled loop, and the
+engine's instance-seeding discipline guarantees both algorithms (and every
+t, since the graph seed ignores terminal placement) see the same graph.
 """
 
-import random
-
 from benchmarks.conftest import print_table
-from repro.core import distributed_moat_growing, sublinear_moat_growing
-from repro.workloads import random_connected_graph, terminals_on_graph
+from repro.engine import ScenarioSpec, run_spec
 
-T_SWEEP = (4, 8, 16)
+N = 36
+SPEC = ScenarioSpec(
+    name="e4-sublinear-rounds",
+    family="gnp",
+    algorithms=("distributed", "sublinear"),
+    grid={"n": N, "p": 0.15, "k": 2, "component_size": [2, 4, 8]},
+    seeds=1,
+    description="Section 4.1 (O(ks+t)) vs Section 4.2 (Õ(sk+σ)), sweep t",
+)
 
 
 def run_sweep():
-    graph = random_connected_graph(36, 0.15, random.Random(5))
+    stats = run_spec(SPEC, parallel=False)
+    by_t = {}
+    for record in stats.records:
+        t = 2 * record["component_size"]
+        by_t.setdefault(t, {})[record["algorithm"]] = record["metrics"]
     rows = []
-    for t in T_SWEEP:
-        inst = terminals_on_graph(graph, 2, t // 2, random.Random(3))
-        plain = distributed_moat_growing(inst)
-        sub = sublinear_moat_growing(inst, 0.5)
-        sub.solution.assert_feasible(inst)
+    for t in sorted(by_t):
+        plain, sub = by_t[t]["distributed"], by_t[t]["sublinear"]
         rows.append(
             (
                 t,
-                sub.sigma,
-                plain.rounds,
-                sub.rounds,
-                plain.solution.weight,
-                sub.solution.weight,
+                sub["sigma"],
+                plain["rounds"],
+                sub["rounds"],
+                plain["weight"],
+                sub["weight"],
             )
         )
     return rows
@@ -44,7 +53,7 @@ def test_e4_sublinear_rounds(benchmark):
     )
     # σ grows like √(st) and stays far below t·s.
     for t, sigma, *_ in rows:
-        assert sigma * sigma <= 36 + 1  # σ = √min{st, n} ≤ √n
+        assert sigma * sigma <= N + 1  # σ = √min{st, n} ≤ √n
     # Both stay feasible with comparable weight (within the (2+ε)/2 gap).
     for row in rows:
         assert row[5] <= 1.5 * row[4] + 1
@@ -52,6 +61,11 @@ def test_e4_sublinear_rounds(benchmark):
 
 def test_e4_sublinear_single(benchmark):
     """Timing of one sublinear run (the benchmarked kernel)."""
+    import random
+
+    from repro.core import sublinear_moat_growing
+    from repro.workloads import random_connected_graph, terminals_on_graph
+
     graph = random_connected_graph(30, 0.15, random.Random(5))
     inst = terminals_on_graph(graph, 2, 4, random.Random(3))
     result = benchmark.pedantic(

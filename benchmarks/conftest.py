@@ -10,19 +10,13 @@ import random
 
 import pytest
 
+from repro.engine.report import format_table
+
 
 def print_table(title, header, rows):
     """Print an experiment table in EXPERIMENTS.md format."""
     print(f"\n== {title} ==")
-    widths = [
-        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
-        for i in range(len(header))
-    ]
-    line = " | ".join(str(h).ljust(w) for h, w in zip(header, widths))
-    print(line)
-    print("-" * len(line))
-    for row in rows:
-        print(" | ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    print(format_table(header, rows))
 
 
 @pytest.fixture

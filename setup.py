@@ -1,4 +1,20 @@
 """Setup shim for environments without the wheel package (offline editable installs)."""
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-steiner-forest",
+    version="0.1.0",
+    description=(
+        "Reproduction of Lenzen & Patt-Shamir, 'Distributed Steiner "
+        "Forest' (PODC 2014): moat-growing approximation algorithms, "
+        "CONGEST simulation, lower-bound gadgets, and an experiment engine"
+    ),
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["networkx", "numpy"],
+    extras_require={"test": ["pytest", "pytest-benchmark"]},
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -7,22 +7,30 @@ Commands:
 * ``compare`` — run every algorithm on one instance and print the table.
 * ``gadget`` — build a Figure 1 lower-bound gadget and report the
   dichotomy and cut traffic.
+* ``sweep`` — run named scenarios from the engine's registry across
+  parallel worker processes, persisting results to a store.
+* ``batch`` — run ad-hoc scenario specs from a JSON file through the
+  same engine.
+* ``report`` — aggregate a result store into per-scenario tables.
 
-The CLI exists for quick exploration; experiments proper live in
-``benchmarks/``.
+The algorithm table lives in :mod:`repro.engine.algorithms`, shared with
+the experiment engine and the benchmarks.
 """
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
 
-from repro.baselines import khan_steiner_forest, spanner_steiner_forest
-from repro.core import (
-    distributed_moat_growing,
-    moat_growing,
-    rounded_moat_growing,
-    sublinear_moat_growing,
+from repro.engine import (
+    ALGORITHMS,
+    GRAPH_FAMILIES,
+    REGISTRY,
+    ResultStore,
+    ScenarioSpec,
+    render_report,
+    run_suite,
 )
 from repro.exact import steiner_forest_cost
 from repro.lowerbounds import (
@@ -33,18 +41,9 @@ from repro.lowerbounds import (
     measure_cut_traffic,
     random_disjointness_sets,
 )
-from repro.randomized import randomized_steiner_forest
 from repro.workloads import random_instance
 
-ALGORITHMS = {
-    "moat": lambda inst, rng: moat_growing(inst),
-    "rounded": lambda inst, rng: rounded_moat_growing(inst, 0.5),
-    "distributed": lambda inst, rng: distributed_moat_growing(inst),
-    "sublinear": lambda inst, rng: sublinear_moat_growing(inst, 0.5),
-    "randomized": lambda inst, rng: randomized_steiner_forest(inst, rng=rng),
-    "khan": lambda inst, rng: khan_steiner_forest(inst, rng=rng),
-    "spanner": lambda inst, rng: spanner_steiner_forest(inst),
-}
+DEFAULT_STORE = "results/experiments.jsonl"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -81,13 +80,61 @@ def _build_parser() -> argparse.ArgumentParser:
         "--intersecting", action="store_true",
         help="force A ∩ B ≠ ∅",
     )
+
+    sweep = sub.add_parser(
+        "sweep", help="run registered scenarios through the engine"
+    )
+    sweep.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="scenario to run (repeatable; default: every registered one)",
+    )
+    sweep.add_argument("--list", action="store_true", help="list scenarios")
+    _add_engine_options(sweep)
+
+    batch = sub.add_parser(
+        "batch", help="run ad-hoc scenario specs from a JSON file"
+    )
+    batch.add_argument(
+        "spec", help="path to a JSON file with one spec object or a list"
+    )
+    _add_engine_options(batch)
+
+    report = sub.add_parser("report", help="aggregate a result store")
+    report.add_argument("--store", default=DEFAULT_STORE)
+    report.add_argument(
+        "--scenario", default=None, help="restrict to one scenario"
+    )
     return parser
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"result store path (JSONL; default {DEFAULT_STORE})",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="run without persisting (disables caching)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, help="worker process count"
+    )
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="run jobs in-process instead of worker processes",
+    )
 
 
 def _cmd_solve(args) -> int:
     rng = random.Random(args.seed)
     inst = random_instance(args.n, args.k, rng)
-    result = ALGORITHMS[args.algorithm](inst, random.Random(args.seed))
+    result = ALGORITHMS[args.algorithm].run(inst, random.Random(args.seed))
     result.solution.assert_feasible(inst)
     rounds = getattr(result, "rounds", None)
     print(f"algorithm : {args.algorithm}")
@@ -110,7 +157,7 @@ def _cmd_compare(args) -> int:
     print(f"instance n={args.n} k={args.k} seed={args.seed} OPT={opt}")
     print(f"{'algorithm':12s} {'weight':>7s} {'ratio':>7s} {'rounds':>7s}")
     for name in sorted(ALGORITHMS):
-        result = ALGORITHMS[name](inst, random.Random(args.seed))
+        result = ALGORITHMS[name].run(inst, random.Random(args.seed))
         weight = result.solution.weight
         rounds = getattr(result, "rounds", "-")
         ratio = weight / opt if opt else 1.0
@@ -136,12 +183,72 @@ def _cmd_gadget(args) -> int:
     return 0 if ok else 1
 
 
+def _run_engine(args, specs: List[ScenarioSpec]) -> int:
+    store = None if args.no_store else ResultStore(args.store)
+    all_stats = run_suite(
+        specs,
+        store=store,
+        max_workers=args.workers,
+        parallel=not args.serial,
+    )
+    records = []
+    for stats in all_stats:
+        print(
+            f"scenario {stats.scenario:20s} "
+            f"executed={stats.executed:4d} cached={stats.cached:4d}"
+        )
+        records.extend(stats.records)
+    if store is not None:
+        print(f"store     : {store.path} ({len(store)} records)")
+    print()
+    print(render_report(records))
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    if args.list:
+        print(f"{'scenario':16s} {'family':10s} {'algorithms'}")
+        for name in REGISTRY.names():
+            spec = REGISTRY.get(name)
+            print(f"{name:16s} {spec.family:10s} {', '.join(spec.algorithms)}")
+        return 0
+    try:
+        specs = REGISTRY.specs(args.scenario or ())
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    return _run_engine(args, specs)
+
+
+def _cmd_batch(args) -> int:
+    try:
+        with open(args.spec, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if isinstance(data, dict):
+            data = [data]
+        specs = [ScenarioSpec.from_dict(entry) for entry in data]
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+        print(f"error: invalid spec file {args.spec}: {exc}", file=sys.stderr)
+        return 2
+    return _run_engine(args, specs)
+
+
+def _cmd_report(args) -> int:
+    store = ResultStore(args.store)
+    records = store.select(scenario=args.scenario)
+    print(render_report(records))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
         "compare": _cmd_compare,
         "gadget": _cmd_gadget,
+        "sweep": _cmd_sweep,
+        "batch": _cmd_batch,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -131,8 +131,10 @@ class Simulator:
         traffic = {key: 1 for key in self._outbox}
         self.run.tick(traffic)
         inboxes: Dict[Node, List[Tuple[Node, Any]]] = {}
+        # Deterministic delivery order must depend on the (sender,
+        # receiver) key only, never on the payload.
         for (sender, receiver), payload in sorted(
-            self._outbox.items(), key=repr
+            self._outbox.items(), key=lambda item: repr(item[0])
         ):
             inboxes.setdefault(receiver, []).append((sender, payload))
         self._outbox = {}
@@ -145,15 +147,22 @@ class Simulator:
         return True
 
     def run_to_completion(self, max_rounds: int = 100_000) -> int:
-        """start() + step() until quiescence; returns rounds executed."""
+        """start() + step() until quiescence; returns rounds executed.
+
+        ``max_rounds`` is inclusive: quiescing in exactly ``max_rounds``
+        rounds succeeds, and :class:`SimulationError` is raised as soon as
+        the limit is reached with work still pending (never executing a
+        ``max_rounds + 1``-th round).
+        """
         self.start()
         rounds = 0
-        while self.step():
-            rounds += 1
-            if rounds > max_rounds:
+        while self._outbox and not self.all_halted:
+            if rounds >= max_rounds:
                 raise SimulationError(
                     f"node programs did not quiesce in {max_rounds} rounds"
                 )
+            self.step()
+            rounds += 1
         return rounds
 
 

@@ -1,0 +1,58 @@
+"""Experiment engine: scenario registry, batch runner, and result store.
+
+The engine turns the one-off sweep loops of ``benchmarks/`` into a
+first-class subsystem:
+
+* :mod:`repro.engine.algorithms` — the algorithm registry (the single
+  source of truth shared by the CLI, benchmarks, and the engine).
+* :mod:`repro.engine.registry` — graph families and named
+  :class:`ScenarioSpec` definitions combining a family, terminal
+  placement, algorithms, and a parameter grid.
+* :mod:`repro.engine.jobs` — spec expansion into content-hashed,
+  independently seeded :class:`Job` records.
+* :mod:`repro.engine.runner` — parallel execution across worker
+  processes with per-job metric collection.
+* :mod:`repro.engine.store` — append-only JSONL result store with
+  content-hash caching (re-running a spec skips computed rows).
+* :mod:`repro.engine.aggregate` — grouping and statistics feeding
+  :mod:`repro.analysis.scaling`.
+* :mod:`repro.engine.report` — text report rendering for stores.
+"""
+
+from repro.engine.algorithms import ALGORITHMS, AlgorithmSpec
+from repro.engine.aggregate import AggregateRow, aggregate_records, ratio_summary
+from repro.engine.jobs import Job, content_hash, expand_grid, expand_jobs
+from repro.engine.registry import (
+    GRAPH_FAMILIES,
+    REGISTRY,
+    GraphFamily,
+    ScenarioRegistry,
+    ScenarioSpec,
+)
+from repro.engine.report import render_report
+from repro.engine.runner import SweepStats, build_instance, execute_job, run_spec, run_suite
+from repro.engine.store import ResultStore
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "AggregateRow",
+    "aggregate_records",
+    "ratio_summary",
+    "Job",
+    "content_hash",
+    "expand_grid",
+    "expand_jobs",
+    "GRAPH_FAMILIES",
+    "REGISTRY",
+    "GraphFamily",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "render_report",
+    "SweepStats",
+    "build_instance",
+    "execute_job",
+    "run_spec",
+    "run_suite",
+    "ResultStore",
+]

@@ -1,0 +1,101 @@
+"""Aggregation over stored job records, feeding :mod:`repro.analysis.scaling`.
+
+Records are the JSON dicts produced by the runner; groups are (scenario,
+algorithm) pairs by default. The scaling helpers reuse the same power-law
+fit and ratio summaries the benchmarks assert on, so the ``report``
+subcommand and the benchmark suite agree on the statistics.
+"""
+
+from collections import defaultdict
+from typing import Any, Dict, Iterable, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+
+from repro.analysis.scaling import (
+    PowerLawFit,
+    RatioSummary,
+    fit_power_law,
+    summarize_ratios,
+)
+
+
+def _metric(record: Mapping[str, Any], name: str) -> Optional[float]:
+    value = record.get("metrics", {}).get(name)
+    return None if value is None else float(value)
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+class AggregateRow(NamedTuple):
+    """Per-(scenario, algorithm) summary statistics."""
+
+    scenario: str
+    algorithm: str
+    jobs: int
+    mean_weight: Optional[float]
+    mean_rounds: Optional[float]
+    max_rounds: Optional[float]
+    mean_ratio: Optional[float]
+    max_ratio: Optional[float]
+    total_wall_time: float
+
+
+def group_records(
+    records: Iterable[Mapping[str, Any]],
+    by: Tuple[str, ...] = ("scenario", "algorithm"),
+) -> Dict[Tuple[Any, ...], List[Mapping[str, Any]]]:
+    """Group records by the given top-level fields (sorted group keys)."""
+    groups: Dict[Tuple[Any, ...], List[Mapping[str, Any]]] = defaultdict(list)
+    for record in records:
+        groups[tuple(record.get(field) for field in by)].append(record)
+    return dict(sorted(groups.items(), key=lambda item: repr(item[0])))
+
+
+def aggregate_records(
+    records: Iterable[Mapping[str, Any]],
+) -> List[AggregateRow]:
+    """One :class:`AggregateRow` per (scenario, algorithm) group."""
+    rows = []
+    for (scenario, algorithm), group in group_records(records).items():
+        weights = [w for r in group if (w := _metric(r, "weight")) is not None]
+        rounds = [x for r in group if (x := _metric(r, "rounds")) is not None]
+        ratios = [x for r in group if (x := _metric(r, "ratio")) is not None]
+        walls = [x for r in group if (x := _metric(r, "wall_time")) is not None]
+        rows.append(
+            AggregateRow(
+                scenario=scenario,
+                algorithm=algorithm,
+                jobs=len(group),
+                mean_weight=_mean(weights),
+                mean_rounds=_mean(rounds),
+                max_rounds=max(rounds) if rounds else None,
+                mean_ratio=_mean(ratios),
+                max_ratio=max(ratios) if ratios else None,
+                total_wall_time=sum(walls),
+            )
+        )
+    return rows
+
+
+def ratio_summary(records: Iterable[Mapping[str, Any]]) -> RatioSummary:
+    """A :class:`RatioSummary` over every record carrying a ratio."""
+    ratios = [x for r in records if (x := _metric(r, "ratio")) is not None]
+    return summarize_ratios(ratios)
+
+
+def scaling_fit(
+    records: Iterable[Mapping[str, Any]],
+    x_metric: str = "n",
+    y_metric: str = "rounds",
+) -> Optional[PowerLawFit]:
+    """Fit ``y ≈ c·x^a`` over a group's records, or None when the data is
+    degenerate (fewer than two distinct positive x values)."""
+    pairs = []
+    for record in records:
+        x, y = _metric(record, x_metric), _metric(record, y_metric)
+        if x is not None and y is not None and x > 0 and y > 0:
+            pairs.append((x, y))
+    if len(pairs) < 2 or len({x for x, _ in pairs}) < 2:
+        return None
+    xs, ys = zip(*pairs)
+    return fit_power_law(xs, ys)

@@ -1,0 +1,136 @@
+"""The algorithm registry — one table shared by the CLI, engine, and benchmarks.
+
+Each entry wraps a solver behind the uniform signature
+``run(instance, rng, **params) -> result`` where ``result`` exposes at least
+``solution`` (a :class:`~repro.model.solution.ForestSolution`) and optionally
+``rounds`` / ``run`` (a :class:`~repro.congest.run.CongestRun` ledger).
+
+Tunable solver parameters (e.g. Algorithm 2's ε) are passed as keyword
+arguments. Fractional parameters travel as strings ("1/10") so job records
+stay JSON-serializable and exactly reproducible; factories convert them with
+:class:`fractions.Fraction`.
+"""
+
+import random
+from fractions import Fraction
+from typing import Any, Callable, Dict, Mapping, NamedTuple, Optional, Union
+
+from repro.baselines import khan_steiner_forest, spanner_steiner_forest
+from repro.core import (
+    distributed_moat_growing,
+    moat_growing,
+    rounded_moat_growing,
+    sublinear_moat_growing,
+)
+from repro.core.rounded import num_growth_phases
+from repro.model.instance import SteinerForestInstance
+from repro.randomized import randomized_steiner_forest
+
+EpsParam = Union[int, float, str, Fraction]
+
+
+def _eps(value: EpsParam) -> Fraction:
+    """Parse an ε parameter; strings like "1/10" come from JSON job records."""
+    if isinstance(value, str):
+        return Fraction(value)
+    if isinstance(value, float):
+        return Fraction(str(value))
+    return Fraction(value)
+
+
+class AlgorithmSpec(NamedTuple):
+    """A registered solver.
+
+    Attributes:
+        name: registry key.
+        run: ``(instance, rng, **params) -> result`` adapter.
+        randomized: whether the result depends on the supplied rng.
+        extra_metrics: optional ``result -> dict`` hook contributing
+            algorithm-specific columns to job records.
+        description: one-line summary for ``--list`` output.
+    """
+
+    name: str
+    run: Callable[..., Any]
+    randomized: bool = False
+    extra_metrics: Optional[Callable[[Any], Dict[str, Any]]] = None
+    description: str = ""
+
+
+def _run_moat(inst: SteinerForestInstance, rng: random.Random) -> Any:
+    return moat_growing(inst)
+
+
+def _run_rounded(
+    inst: SteinerForestInstance, rng: random.Random, eps: EpsParam = "1/2"
+) -> Any:
+    return rounded_moat_growing(inst, _eps(eps))
+
+
+def _run_distributed(inst: SteinerForestInstance, rng: random.Random) -> Any:
+    return distributed_moat_growing(inst)
+
+
+def _run_sublinear(
+    inst: SteinerForestInstance, rng: random.Random, eps: EpsParam = "1/2"
+) -> Any:
+    return sublinear_moat_growing(inst, _eps(eps))
+
+
+def _run_randomized(inst: SteinerForestInstance, rng: random.Random) -> Any:
+    return randomized_steiner_forest(inst, rng=rng)
+
+
+def _run_khan(inst: SteinerForestInstance, rng: random.Random) -> Any:
+    return khan_steiner_forest(inst, rng=rng)
+
+
+def _run_spanner(inst: SteinerForestInstance, rng: random.Random) -> Any:
+    return spanner_steiner_forest(inst)
+
+
+ALGORITHMS: Mapping[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in (
+        AlgorithmSpec(
+            "moat",
+            _run_moat,
+            description="centralized Algorithm 1 (2-approx, Theorem 4.1)",
+        ),
+        AlgorithmSpec(
+            "rounded",
+            _run_rounded,
+            extra_metrics=lambda result: {
+                "growth_phases": num_growth_phases(result)
+            },
+            description="Algorithm 2, rounded radii ((2+ε)-approx)",
+        ),
+        AlgorithmSpec(
+            "distributed",
+            _run_distributed,
+            description="Section 4.1 distributed emulation (O(ks+t) rounds)",
+        ),
+        AlgorithmSpec(
+            "sublinear",
+            _run_sublinear,
+            description="Section 4.2 variant (Õ(sk+√min{st,n}) rounds)",
+        ),
+        AlgorithmSpec(
+            "randomized",
+            _run_randomized,
+            randomized=True,
+            description="Section 5 randomized embedding algorithm",
+        ),
+        AlgorithmSpec(
+            "khan",
+            _run_khan,
+            randomized=True,
+            description="[14] baseline (tree-embedding Steiner forest)",
+        ),
+        AlgorithmSpec(
+            "spanner",
+            _run_spanner,
+            description="spanner-based baseline",
+        ),
+    )
+}

@@ -1,0 +1,178 @@
+"""Spec expansion: parameter grids → content-hashed, seeded job records.
+
+A :class:`Job` is the unit of work the runner executes and the store caches.
+Its identity — and therefore its cache key — is the canonical JSON of its
+full configuration, so re-running an unchanged spec re-derives the same keys
+and skips every already-computed row.
+
+Seeding discipline: each job derives independent ``random.Random`` streams
+from SHA-256 of its identity, namespaced per use ("instance" vs
+"algorithm"). The instance stream deliberately excludes the algorithm and
+its parameters, so every algorithm in a scenario sees the *same* graph and
+terminal placement for a given grid point and seed index — cross-algorithm
+comparisons compare like with like, as the CLI's ``compare`` does.
+"""
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Tuple
+
+from repro.engine.registry import PLACEMENT_KEYS, ScenarioSpec
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def derive_seed(value: Any, namespace: str) -> int:
+    """A 63-bit seed from the canonical JSON of ``value``, per namespace."""
+    digest = hashlib.sha256(
+        f"{namespace}|{canonical_json(value)}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+def expand_grid(grid: Mapping[str, Any]) -> List[Dict[str, Any]]:
+    """Cartesian product of a grid: list/tuple values sweep, scalars fix.
+
+    ``{"n": [8, 12], "p": 0.3}`` → ``[{"n": 8, "p": 0.3}, {"n": 12, "p": 0.3}]``.
+    Keys expand in sorted order so the product order is deterministic.
+    """
+    if not grid:
+        return [{}]
+    keys = sorted(grid)
+    axes = [
+        list(grid[k]) if isinstance(grid[k], (list, tuple)) else [grid[k]]
+        for k in keys
+    ]
+    return [dict(zip(keys, combo)) for combo in itertools.product(*axes)]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One fully resolved experiment row.
+
+    Attributes:
+        scenario: owning scenario name (stamped on records).
+        family: graph family key.
+        family_params: resolved builder parameters (scalars only).
+        k / component_size: terminal placement.
+        algorithm: registered algorithm name.
+        algo_params: resolved solver keyword arguments.
+        seed_index: repetition index within the spec.
+        exact: whether to compute the exact optimum and ratio.
+    """
+
+    scenario: str
+    family: str
+    family_params: Mapping[str, Any]
+    k: int
+    component_size: int
+    algorithm: str
+    algo_params: Mapping[str, Any] = field(default_factory=dict)
+    seed_index: int = 0
+    exact: bool = False
+
+    def identity(self) -> Dict[str, Any]:
+        """The full configuration that defines this job's cache key."""
+        return {
+            "scenario": self.scenario,
+            "family": self.family,
+            "family_params": dict(self.family_params),
+            "k": self.k,
+            "component_size": self.component_size,
+            "algorithm": self.algorithm,
+            "algo_params": dict(self.algo_params),
+            "seed_index": self.seed_index,
+            "exact": self.exact,
+        }
+
+    def instance_identity(self) -> Dict[str, Any]:
+        """The sub-configuration that defines the instance (graph +
+        placement) — algorithm-independent by design (see module docstring).
+        The graph additionally ignores placement, so sweeps over ``k`` or
+        ``component_size`` re-place terminals on the *same* graph."""
+        return {
+            "family": self.family,
+            "family_params": dict(self.family_params),
+            "seed_index": self.seed_index,
+        }
+
+    @property
+    def key(self) -> str:
+        """Content-hash cache key for the result store."""
+        return content_hash(self.identity())
+
+    def graph_seed(self) -> int:
+        return derive_seed(self.instance_identity(), "graph")
+
+    def placement_seed(self) -> int:
+        placement = dict(
+            self.instance_identity(),
+            k=self.k,
+            component_size=self.component_size,
+        )
+        return derive_seed(placement, "placement")
+
+    def algorithm_seed(self) -> int:
+        return derive_seed(self.identity(), "algorithm")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return self.identity()
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        return cls(
+            scenario=data["scenario"],
+            family=data["family"],
+            family_params=dict(data["family_params"]),
+            k=int(data["k"]),
+            component_size=int(data["component_size"]),
+            algorithm=data["algorithm"],
+            algo_params=dict(data.get("algo_params", {})),
+            seed_index=int(data.get("seed_index", 0)),
+            exact=bool(data.get("exact", False)),
+        )
+
+
+def _split_placement(
+    params: Mapping[str, Any]
+) -> Tuple[Dict[str, Any], int, int]:
+    family_params = {
+        name: value for name, value in params.items()
+        if name not in PLACEMENT_KEYS
+    }
+    return family_params, int(params.get("k", 2)), int(params.get("component_size", 2))
+
+
+def iter_jobs(spec: ScenarioSpec) -> Iterator[Job]:
+    """Expand a spec into jobs: grid × algo_grid × algorithms × seeds."""
+    for params in expand_grid(spec.grid):
+        family_params, k, component_size = _split_placement(params)
+        for algo_params in expand_grid(spec.algo_grid):
+            for algorithm in spec.algorithms:
+                for seed_index in range(spec.seeds):
+                    yield Job(
+                        scenario=spec.name,
+                        family=spec.family,
+                        family_params=family_params,
+                        k=k,
+                        component_size=component_size,
+                        algorithm=algorithm,
+                        algo_params=algo_params,
+                        seed_index=seed_index,
+                        exact=spec.exact,
+                    )
+
+
+def expand_jobs(spec: ScenarioSpec) -> List[Job]:
+    """Materialized :func:`iter_jobs` (deterministic order)."""
+    return list(iter_jobs(spec))

@@ -1,0 +1,225 @@
+"""Graph families and the named scenario registry.
+
+A :class:`ScenarioSpec` declaratively combines a graph family from
+:mod:`repro.workloads.generators`, terminal placement, a set of registered
+algorithms, and a parameter grid. Specs are pure data (JSON round-trippable)
+so they can live in files for the ``batch`` subcommand and hash stably for
+the result store's cache keys.
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, NamedTuple, Tuple
+
+from repro.engine.algorithms import ALGORITHMS
+from repro.model.graph import WeightedGraph
+from repro.workloads import (
+    grid_graph,
+    random_connected_graph,
+    random_geometric_graph,
+    ring_of_blobs,
+)
+
+
+class GraphFamily(NamedTuple):
+    """A named graph generator: ``build(rng, **params) -> WeightedGraph``."""
+
+    name: str
+    build: Callable[..., WeightedGraph]
+    description: str = ""
+
+
+def _build_gnp(
+    rng: random.Random, n: int = 16, p: float = 0.35, max_weight: int = 20
+) -> WeightedGraph:
+    return random_connected_graph(n, p, rng, max_weight=max_weight)
+
+
+def _build_geometric(
+    rng: random.Random, n: int = 16, radius: float = 0.4, weight_scale: int = 100
+) -> WeightedGraph:
+    return random_geometric_graph(n, radius, rng, weight_scale=weight_scale)
+
+
+def _build_grid(
+    rng: random.Random, rows: int = 4, cols: int = 4, max_weight: int = 10
+) -> WeightedGraph:
+    return grid_graph(rows, cols, rng, max_weight=max_weight)
+
+
+def _build_ring(
+    rng: random.Random,
+    num_blobs: int = 3,
+    blob_size: int = 3,
+    path_weight: int = 1,
+    blob_weight: int = 3,
+) -> WeightedGraph:
+    return ring_of_blobs(
+        num_blobs, blob_size, rng,
+        path_weight=path_weight, blob_weight=blob_weight,
+    )
+
+
+GRAPH_FAMILIES: Mapping[str, GraphFamily] = {
+    fam.name: fam
+    for fam in (
+        GraphFamily("gnp", _build_gnp, "G(n,p) with connectivity fallback"),
+        GraphFamily("geometric", _build_geometric, "random geometric graph"),
+        GraphFamily("grid", _build_grid, "rows × cols grid"),
+        GraphFamily("ring", _build_ring, "ring of cliques (controllable s)"),
+    )
+}
+
+#: Grid keys routed to terminal placement rather than the graph builder.
+PLACEMENT_KEYS = ("k", "component_size")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative experiment scenario.
+
+    Attributes:
+        name: registry key; also stamped on every result record.
+        family: a :data:`GRAPH_FAMILIES` key.
+        algorithms: registered algorithm names to run on each instance.
+        grid: parameter grid. List/tuple values are swept (cartesian
+            product), scalars are fixed. The reserved keys ``k`` and
+            ``component_size`` control terminal placement; all others are
+            passed to the family's graph builder.
+        algo_grid: per-algorithm keyword grid (e.g. ``{"eps": ["1/10",
+            "1/2"]}``), swept the same way.
+        seeds: number of independent repetitions per grid point.
+        exact: whether to also compute the exact optimum (exponential
+            time — keep instances small) and record the ratio.
+        description: one-line summary for ``--list`` output.
+    """
+
+    name: str
+    family: str
+    algorithms: Tuple[str, ...]
+    grid: Mapping[str, Any] = field(default_factory=dict)
+    algo_grid: Mapping[str, Any] = field(default_factory=dict)
+    seeds: int = 3
+    exact: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.family not in GRAPH_FAMILIES:
+            raise ValueError(
+                f"unknown graph family {self.family!r}; "
+                f"choose from {sorted(GRAPH_FAMILIES)}"
+            )
+        unknown = [a for a in self.algorithms if a not in ALGORITHMS]
+        if unknown:
+            raise ValueError(
+                f"unknown algorithms {unknown}; "
+                f"choose from {sorted(ALGORITHMS)}"
+            )
+        if self.seeds < 1:
+            raise ValueError("seeds must be >= 1")
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        object.__setattr__(self, "grid", dict(self.grid))
+        object.__setattr__(self, "algo_grid", dict(self.algo_grid))
+
+    # -- (de)serialization for spec files and hashing --------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "algorithms": list(self.algorithms),
+            "grid": dict(self.grid),
+            "algo_grid": dict(self.algo_grid),
+            "seeds": self.seeds,
+            "exact": self.exact,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=data["name"],
+            family=data["family"],
+            algorithms=tuple(data["algorithms"]),
+            grid=dict(data.get("grid", {})),
+            algo_grid=dict(data.get("algo_grid", {})),
+            seeds=int(data.get("seeds", 3)),
+            exact=bool(data.get("exact", False)),
+            description=str(data.get("description", "")),
+        )
+
+
+class ScenarioRegistry:
+    """Named scenario specs; the ``sweep`` subcommand runs these."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ScenarioSpec] = {}
+
+    def register(self, spec: ScenarioSpec) -> ScenarioSpec:
+        if spec.name in self._specs:
+            raise ValueError(f"scenario {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; choose from {sorted(self._specs)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def specs(self, names: Iterable[str] = ()) -> List[ScenarioSpec]:
+        """The named specs, or every registered spec when none are named."""
+        wanted = list(names)
+        if not wanted:
+            return [self._specs[n] for n in self.names()]
+        return [self.get(n) for n in wanted]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The built-in scenarios. Kept small enough that the full default sweep
+#: finishes in seconds; they cover three graph families and six algorithms,
+#: so one `repro sweep` exercises every regime the paper distinguishes.
+REGISTRY = ScenarioRegistry()
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="gnp-core",
+        family="gnp",
+        algorithms=("moat", "rounded", "distributed", "spanner"),
+        grid={"n": [12, 16], "p": 0.3, "k": 2, "component_size": 2},
+        seeds=2,
+        description="dense random graphs: the paper's main algorithms vs baselines",
+    )
+)
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="grid-rounds",
+        family="grid",
+        algorithms=("distributed", "sublinear"),
+        grid={"rows": [3, 4], "cols": 3, "k": 2, "component_size": 2},
+        seeds=2,
+        description="grids (s ≈ √n): Section 4.1 vs Section 4.2 round counts",
+    )
+)
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="ring-diameter",
+        family="ring",
+        algorithms=("distributed", "randomized"),
+        grid={"num_blobs": [3, 4], "blob_size": 3, "k": 2, "component_size": 2},
+        seeds=2,
+        description="ring-of-blobs: sweeping shortest-path diameter s",
+    )
+)

@@ -1,0 +1,62 @@
+"""Text reports over a result store (the ``report`` subcommand)."""
+
+from typing import Any, Iterable, List, Mapping, Sequence
+
+from repro.engine.aggregate import aggregate_records, group_records, scaling_fit
+
+
+def format_table(header: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Fixed-width table in the benchmarks' EXPERIMENTS.md style."""
+    rendered = [[str(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in rendered), default=0))
+        for i in range(len(header))
+    ]
+    lines = [" | ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("-" * len(lines[0]))
+    for row in rendered:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any, spec: str = ".2f") -> str:
+    return "-" if value is None else format(value, spec)
+
+
+def render_report(records: List[Mapping[str, Any]]) -> str:
+    """Aggregate ``records`` into per-scenario tables plus scaling fits."""
+    if not records:
+        return "no records"
+    sections = []
+    for (scenario,), group in group_records(records, by=("scenario",)).items():
+        rows = []
+        for agg in aggregate_records(group):
+            rows.append(
+                (
+                    agg.algorithm,
+                    agg.jobs,
+                    _fmt(agg.mean_weight, ".1f"),
+                    _fmt(agg.mean_rounds, ".1f"),
+                    _fmt(agg.max_ratio, ".3f"),
+                    _fmt(agg.total_wall_time, ".3f"),
+                )
+            )
+        table = format_table(
+            ("algorithm", "jobs", "mean W", "mean rounds", "max ratio", "wall s"),
+            rows,
+        )
+        fits = []
+        for (algorithm,), algo_group in group_records(
+            group, by=("algorithm",)
+        ).items():
+            fit = scaling_fit(algo_group)
+            if fit is not None:
+                fits.append(
+                    f"  rounds ~ n^{fit.exponent:.2f} for {algorithm} "
+                    f"(R²={fit.r_squared:.2f})"
+                )
+        section = f"== scenario: {scenario} ({len(group)} records) ==\n{table}"
+        if fits:
+            section += "\nscaling fits:\n" + "\n".join(fits)
+        sections.append(section)
+    return "\n\n".join(sections)

@@ -1,0 +1,159 @@
+"""Parallel batch runner: expand a spec, execute jobs, persist records.
+
+Jobs cross the process boundary as plain dicts (see :meth:`Job.to_dict`), so
+the pool workers only need the library importable — no closure pickling. Each
+job rebuilds its instance from the registry by name and its derived seeds,
+making every record exactly reproducible from its stored configuration.
+"""
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+from repro.engine.algorithms import ALGORITHMS
+from repro.engine.jobs import Job, expand_jobs
+from repro.engine.registry import GRAPH_FAMILIES, ScenarioSpec
+from repro.engine.store import SCHEMA_VERSION, ResultStore
+from repro.model.instance import SteinerForestInstance
+from repro.workloads import terminals_on_graph
+
+#: Result attributes promoted to metrics whenever the solver exposes them.
+_OPTIONAL_RESULT_METRICS = (
+    "sigma",
+    "num_phases",
+    "num_growth_phases",
+    "num_merge_phases",
+)
+
+
+def build_instance(job: Job) -> SteinerForestInstance:
+    """Rebuild the (algorithm-independent) instance a job runs on."""
+    family = GRAPH_FAMILIES[job.family]
+    graph = family.build(random.Random(job.graph_seed()), **job.family_params)
+    return terminals_on_graph(
+        graph, job.k, job.component_size, random.Random(job.placement_seed())
+    )
+
+
+def execute_job(job_dict: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one job (worker entry point); returns its JSON-able record."""
+    job = Job.from_dict(job_dict)
+    instance = build_instance(job)
+    algorithm = ALGORITHMS[job.algorithm]
+    rng = random.Random(job.algorithm_seed())
+    started = time.perf_counter()
+    result = algorithm.run(instance, rng, **job.algo_params)
+    wall_time = time.perf_counter() - started
+    result.solution.assert_feasible(instance)
+
+    metrics: Dict[str, Any] = {
+        "n": instance.graph.num_nodes,
+        "m": instance.graph.num_edges,
+        "t": instance.num_terminals,
+        "weight": result.solution.weight,
+        "wall_time": wall_time,
+    }
+    rounds = getattr(result, "rounds", None)
+    if rounds is not None:
+        metrics["rounds"] = rounds
+    run = getattr(result, "run", None)
+    if run is not None:
+        metrics["messages"] = run.messages
+        metrics["bits"] = run.bits
+        if run.edge_messages:
+            metrics["max_edge_messages"] = max(run.edge_messages.values())
+    for attr in _OPTIONAL_RESULT_METRICS:
+        value = getattr(result, attr, None)
+        if value is not None:
+            metrics[attr] = value
+    if algorithm.extra_metrics is not None:
+        metrics.update(algorithm.extra_metrics(result))
+    if job.exact:
+        from repro.exact import steiner_forest_cost
+
+        opt = steiner_forest_cost(instance)
+        metrics["opt"] = opt
+        metrics["ratio"] = result.solution.weight / opt if opt else 1.0
+
+    record = job.identity()
+    record["key"] = job.key
+    record["schema"] = SCHEMA_VERSION
+    record["metrics"] = metrics
+    return record
+
+
+def _run_jobs(
+    jobs: List[Job],
+    max_workers: Optional[int],
+    parallel: bool,
+) -> List[Dict[str, Any]]:
+    payloads = [job.to_dict() for job in jobs]
+    if not parallel or len(jobs) <= 1:
+        return [execute_job(payload) for payload in payloads]
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        return list(pool.map(execute_job, payloads))
+
+
+@dataclass
+class SweepStats:
+    """Outcome of running one spec: what ran, what the cache absorbed.
+
+    ``records`` holds the full result set for the spec in job order —
+    freshly executed rows merged with cached rows read back from the store.
+    """
+
+    scenario: str
+    executed: int
+    cached: int
+    records: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.cached
+
+
+def run_spec(
+    spec: ScenarioSpec,
+    store: Optional[ResultStore] = None,
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> SweepStats:
+    """Expand ``spec``, skip rows already in ``store``, run the rest.
+
+    Without a store everything executes and nothing persists (useful for
+    benchmarks that only want the records).
+    """
+    jobs = expand_jobs(spec)
+    cached_keys = store.keys() if store is not None else set()
+    pending = [job for job in jobs if job.key not in cached_keys]
+    fresh = _run_jobs(pending, max_workers=max_workers, parallel=parallel)
+    if store is not None and fresh:
+        store.append(fresh)
+
+    by_key = {record["key"]: record for record in fresh}
+    if store is not None:
+        hit_keys = {job.key for job in jobs} & cached_keys
+        for record in store.select(keys=hit_keys):
+            by_key.setdefault(record["key"], record)
+    records = [by_key[job.key] for job in jobs if job.key in by_key]
+    return SweepStats(
+        scenario=spec.name,
+        executed=len(pending),
+        cached=len(jobs) - len(pending),
+        records=records,
+    )
+
+
+def run_suite(
+    specs: Iterable[ScenarioSpec],
+    store: Optional[ResultStore] = None,
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> List[SweepStats]:
+    """Run several specs against one store; returns per-spec stats."""
+    return [
+        run_spec(spec, store=store, max_workers=max_workers, parallel=parallel)
+        for spec in specs
+    ]

@@ -1,0 +1,97 @@
+"""Append-only JSONL result store with content-hash caching.
+
+One line per job record. The ``key`` field is the job's content hash
+(:attr:`repro.engine.jobs.Job.key`); the runner consults :meth:`keys` before
+executing, so re-running an unchanged spec touches the store only to read.
+JSONL keeps the store greppable, mergeable (concatenation), and safely
+appendable without rewriting history.
+
+A :class:`ResultStore` instance caches the parsed file in memory after the
+first read and keeps the cache in sync with its own appends, so repeated
+``keys()`` / ``select()`` / ``len()`` calls (one per spec in a suite run)
+parse the file once rather than once per call. Writers in *other* processes
+are not observed after the first read — construct a fresh instance to
+re-read the file.
+"""
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+
+SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """A persistent store of job records at ``path`` (created on demand)."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._cache: Optional[List[Dict[str, Any]]] = None
+
+    # -- reading ---------------------------------------------------------
+
+    def _load(self) -> List[Dict[str, Any]]:
+        if self._cache is None:
+            rows: List[Dict[str, Any]] = []
+            if self.path.exists():
+                with self.path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if line:
+                            rows.append(json.loads(line))
+            self._cache = rows
+        return self._cache
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Yield every stored record."""
+        yield from self._load()
+
+    def keys(self) -> Set[str]:
+        """The cache keys of every stored record."""
+        return {record["key"] for record in self._load()}
+
+    def select(
+        self,
+        scenario: Optional[str] = None,
+        keys: Optional[Iterable[str]] = None,
+    ) -> List[Dict[str, Any]]:
+        """Records filtered by scenario and/or an explicit key set."""
+        wanted = set(keys) if keys is not None else None
+        out = []
+        for record in self._load():
+            if scenario is not None and record.get("scenario") != scenario:
+                continue
+            if wanted is not None and record["key"] not in wanted:
+                continue
+            out.append(record)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    # -- writing ---------------------------------------------------------
+
+    def append(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Append records (stamped with the schema version); returns count.
+
+        Input dicts are not mutated; the stamped copies land in the file
+        and the in-memory cache.
+        """
+        rows = []
+        for record in records:
+            row = dict(record)
+            row.setdefault("schema", SCHEMA_VERSION)
+            rows.append(row)
+        if not rows:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        if self._cache is not None:
+            self._cache.extend(rows)
+        return len(rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.path)!r})"

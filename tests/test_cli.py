@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -63,3 +65,86 @@ class TestGadget:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweep:
+    def test_list_scenarios(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "gnp-core" in out and "grid-rounds" in out
+
+    def test_sweep_persists_then_hits_cache(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        args = ["sweep", "--scenario", "grid-rounds", "--store", store]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "executed=   8 cached=   0" in out
+        assert "scenario: grid-rounds" in out
+        # An identical re-run executes nothing: every row comes from cache.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "executed=   0 cached=   8" in out
+        with open(store) as handle:
+            assert len(handle.readlines()) == 8
+
+    def test_sweep_parallel_workers(self, tmp_path, capsys):
+        # Default mode (no --serial) goes through worker processes.
+        store = str(tmp_path / "results.jsonl")
+        code = main(
+            ["sweep", "--scenario", "grid-rounds", "--store", store,
+             "--workers", "2"]
+        )
+        assert code == 0
+        assert "executed=   8" in capsys.readouterr().out
+
+    def test_unknown_scenario_errors(self, capsys):
+        assert main(["sweep", "--scenario", "nope", "--no-store"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario 'nope'" in err
+
+    def test_invalid_spec_file_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{oops")
+        assert main(["batch", str(bad), "--no-store"]) == 2
+        assert "invalid spec file" in capsys.readouterr().err
+
+
+class TestBatch:
+    def test_batch_runs_spec_file(self, tmp_path, capsys):
+        spec = {
+            "name": "adhoc",
+            "family": "grid",
+            "algorithms": ["moat"],
+            "grid": {"rows": 3, "cols": 3, "k": 2, "component_size": 2},
+            "seeds": 2,
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        store = str(tmp_path / "results.jsonl")
+        code = main(
+            ["batch", str(spec_path), "--store", store, "--serial"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "adhoc" in out and "executed=   2" in out
+
+
+class TestReport:
+    def test_report_renders_store(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        main(["sweep", "--scenario", "grid-rounds", "--store", store,
+              "--serial"])
+        capsys.readouterr()
+        assert main(["report", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "scenario: grid-rounds" in out
+        assert "sublinear" in out
+
+    def test_report_scenario_filter(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        main(["sweep", "--scenario", "grid-rounds", "--store", store,
+              "--serial"])
+        capsys.readouterr()
+        assert main(["report", "--store", store,
+                     "--scenario", "absent"]) == 0
+        assert "no records" in capsys.readouterr().out

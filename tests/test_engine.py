@@ -1,0 +1,234 @@
+"""Tests for the experiment engine (registry, jobs, runner, store)."""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ALGORITHMS,
+    GRAPH_FAMILIES,
+    REGISTRY,
+    ResultStore,
+    ScenarioSpec,
+    aggregate_records,
+    build_instance,
+    content_hash,
+    execute_job,
+    expand_grid,
+    expand_jobs,
+    render_report,
+    run_spec,
+    run_suite,
+)
+from repro.engine.jobs import Job
+
+
+def tiny_spec(**overrides):
+    """A spec small enough to execute in-process during tests."""
+    fields = dict(
+        name="tiny",
+        family="gnp",
+        algorithms=("moat", "distributed"),
+        grid={"n": [8, 10], "p": 0.4, "k": 2, "component_size": 2},
+        seeds=1,
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+class TestSpecValidation:
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="family"):
+            tiny_spec(family="nope")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="algorithms"):
+            tiny_spec(algorithms=("moat", "nope"))
+
+    def test_round_trips_through_dict(self):
+        spec = tiny_spec(algo_grid={"eps": ["1/2"]}, exact=True)
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+
+    def test_registry_covers_families_and_algorithms(self):
+        # The acceptance bar for the default sweep: ≥ 2 graph families
+        # and ≥ 3 algorithms across the built-in scenarios.
+        specs = REGISTRY.specs()
+        assert len({s.family for s in specs}) >= 2
+        assert len({a for s in specs for a in s.algorithms}) >= 3
+
+
+class TestJobExpansion:
+    def test_grid_cartesian_product(self):
+        grid = expand_grid({"a": [1, 2], "b": [3, 4], "c": 9})
+        assert len(grid) == 4
+        assert {"a": 1, "b": 4, "c": 9} in grid
+
+    def test_job_count(self):
+        spec = tiny_spec(seeds=3, algo_grid={"x": [1, 2]})
+        # 2 grid points × 2 algo grid points × 2 algorithms × 3 seeds.
+        assert len(expand_jobs(spec)) == 24
+
+    def test_keys_are_stable_and_distinct(self):
+        jobs = expand_jobs(tiny_spec())
+        keys = [job.key for job in jobs]
+        assert len(set(keys)) == len(keys)
+        assert keys == [job.key for job in expand_jobs(tiny_spec())]
+
+    def test_content_hash_ignores_key_order(self):
+        assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+    def test_instance_shared_across_algorithms(self):
+        spec = tiny_spec()
+        jobs = expand_jobs(spec)
+        moat = next(j for j in jobs if j.algorithm == "moat")
+        dist = next(
+            j
+            for j in jobs
+            if j.algorithm == "distributed"
+            and j.family_params == moat.family_params
+            and j.seed_index == moat.seed_index
+        )
+        a, b = build_instance(moat), build_instance(dist)
+        assert a.graph.nodes == b.graph.nodes
+        assert a.graph.edges() == b.graph.edges()
+        assert a.labels == b.labels
+
+    def test_graph_shared_across_placement_sweep(self):
+        # Sweeping k re-places terminals on the *same* graph.
+        j2 = Job("s", "gnp", {"n": 12, "p": 0.4}, 2, 2, "moat")
+        j3 = Job("s", "gnp", {"n": 12, "p": 0.4}, 3, 2, "moat")
+        a, b = build_instance(j2), build_instance(j3)
+        assert a.graph.edges() == b.graph.edges()
+        assert a.num_components == 2 and b.num_components == 3
+
+
+class TestExecuteJob:
+    def test_deterministic_record(self):
+        job = expand_jobs(tiny_spec())[0].to_dict()
+        first, second = execute_job(job), execute_job(job)
+        first["metrics"].pop("wall_time")
+        second["metrics"].pop("wall_time")
+        assert first == second
+
+    def test_metrics_present(self):
+        spec = tiny_spec(algorithms=("distributed",))
+        record = execute_job(expand_jobs(spec)[0].to_dict())
+        metrics = record["metrics"]
+        assert metrics["weight"] >= 0
+        assert metrics["rounds"] > 0
+        assert metrics["messages"] > 0
+        assert metrics["n"] in (8, 10)
+
+    def test_exact_mode_records_ratio(self):
+        spec = tiny_spec(
+            algorithms=("moat",), grid={"n": 8, "k": 2, "component_size": 2},
+            exact=True,
+        )
+        record = execute_job(expand_jobs(spec)[0].to_dict())
+        assert record["metrics"]["ratio"] <= 2.0 + 1e-9
+
+    def test_algo_params_reach_the_solver(self):
+        spec = tiny_spec(
+            algorithms=("rounded",),
+            grid={"n": 10, "k": 2, "component_size": 2},
+            algo_grid={"eps": ["1/10", "2"]},
+        )
+        records = [execute_job(j.to_dict()) for j in expand_jobs(spec)]
+        phases = {
+            r["algo_params"]["eps"]: r["metrics"]["growth_phases"]
+            for r in records
+        }
+        # Coarser ε ⇒ no more growth phases (Lemma F.1).
+        assert phases["1/10"] >= phases["2"]
+
+
+class TestStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        assert len(store) == 0 and store.keys() == set()
+        store.append([{"key": "k1", "scenario": "s", "metrics": {}}])
+        store.append([{"key": "k2", "scenario": "t", "metrics": {}}])
+        assert store.keys() == {"k1", "k2"}
+        assert [r["key"] for r in store.records()] == ["k1", "k2"]
+        assert store.select(scenario="t")[0]["key"] == "k2"
+
+
+class TestRunner:
+    def test_rerun_hits_cache_completely(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "r.jsonl")
+        first = run_spec(spec, store=store, parallel=False)
+        assert first.executed == len(expand_jobs(spec)) and first.cached == 0
+        second = run_spec(spec, store=store, parallel=False)
+        assert second.executed == 0
+        assert second.cached == first.executed
+        assert len(second.records) == len(first.records)
+        # Nothing was appended by the cached run.
+        assert len(store) == first.executed
+
+    def test_partial_cache_runs_only_new_rows(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_spec(tiny_spec(), store=store, parallel=False)
+        grown = tiny_spec(grid={"n": [8, 10, 12], "p": 0.4, "k": 2,
+                                "component_size": 2})
+        stats = run_spec(grown, store=store, parallel=False)
+        assert stats.cached == 4  # the original 2×2 grid rows
+        assert stats.executed == 2  # only the n=12 rows
+
+    def test_parallel_execution_in_worker_processes(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path / "r.jsonl")
+        stats = run_spec(spec, store=store, parallel=True, max_workers=2)
+        assert stats.executed == len(expand_jobs(spec))
+        serial = [
+            execute_job(j.to_dict()) for j in expand_jobs(spec)
+        ]
+        for par, ser in zip(stats.records, serial):
+            assert par["key"] == ser["key"]
+            assert par["metrics"]["weight"] == ser["metrics"]["weight"]
+
+    def test_run_suite_shares_one_store(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        specs = [tiny_spec(), tiny_spec(name="tiny2", family="grid",
+                                        grid={"rows": 3, "cols": 3, "k": 2,
+                                              "component_size": 2})]
+        all_stats = run_suite(specs, store=store, parallel=False)
+        assert [s.scenario for s in all_stats] == ["tiny", "tiny2"]
+        assert len(store) == sum(s.executed for s in all_stats)
+
+
+class TestAggregateAndReport:
+    @pytest.fixture(scope="class")
+    def records(self):
+        return run_spec(tiny_spec(), parallel=False).records
+
+    def test_aggregate_rows(self, records):
+        rows = aggregate_records(records)
+        assert {row.algorithm for row in rows} == {"moat", "distributed"}
+        for row in rows:
+            assert row.scenario == "tiny"
+            assert row.jobs == 2
+            assert row.mean_weight > 0
+        dist = next(r for r in rows if r.algorithm == "distributed")
+        assert dist.mean_rounds > 0
+
+    def test_report_renders(self, records):
+        text = render_report(records)
+        assert "scenario: tiny" in text
+        assert "distributed" in text and "moat" in text
+        assert render_report([]) == "no records"
+
+
+class TestRegistryTables:
+    def test_algorithm_specs_carry_runners(self):
+        for name, spec in ALGORITHMS.items():
+            assert spec.name == name
+            assert callable(spec.run)
+
+    def test_families_build_graphs(self):
+        import random
+
+        for name, family in GRAPH_FAMILIES.items():
+            graph = family.build(random.Random(0))
+            assert graph.num_nodes > 0, name

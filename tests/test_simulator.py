@@ -84,6 +84,113 @@ class TestSimulatorCore:
         assert seen["w"] == 4
 
 
+class _Tag:
+    """A hashable node with a controllable repr (adversarial for sorting)."""
+
+    def __init__(self, label):
+        self.label = label
+
+    def __repr__(self):
+        return self.label
+
+
+class TestDeliveryOrder:
+    @staticmethod
+    def _inbox_order(graph, receiver, payloads):
+        """Sender labels in ``receiver``'s round-1 inbox."""
+        received = []
+
+        class Sender(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id in payloads:
+                    ctx.send(receiver, payloads[ctx.node_id])
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        class Receiver(NodeProgram):
+            def on_start(self, ctx):
+                pass
+
+            def on_round(self, ctx, inbox):
+                received.extend(sender for sender, _ in inbox)
+                ctx.halt()
+
+        programs = {
+            v: Receiver() if v == receiver else Sender() for v in graph.nodes
+        }
+        Simulator(graph, programs).run_to_completion()
+        return received
+
+    def test_inbox_sorted_by_sender_not_payload(self, path5):
+        star = WeightedGraph([0, 1, 2, 3], [(1, 0, 1), (2, 0, 1), (3, 0, 1)])
+        for payloads in ({1: "z", 2: "a", 3: "m"}, {1: 0, 2: 99, 3: -5}):
+            assert self._inbox_order(star, 0, payloads) == [1, 2, 3]
+
+    def test_order_independent_of_payload_contents(self):
+        # Adversarial node reprs make the repr of the *whole* outbox item
+        # diverge only inside the payload region: the old sort key
+        # (repr of ((sender, receiver), payload)) flipped the delivery
+        # order depending on the payload, the fixed key cannot.
+        receiver = _Tag("r")
+        plain = _Tag("a")
+        tricky = _Tag("a, r), Z")
+        graph = WeightedGraph(
+            [receiver, plain, tricky],
+            [(plain, receiver, 1), (tricky, receiver, 1)],
+        )
+        orders = [
+            self._inbox_order(graph, receiver, {plain: payload, tricky: 0})
+            for payload in (5, ["x"])
+        ]
+        assert orders[0] == orders[1]
+        assert [s.label for s in orders[0]] == ["a", "a, r), Z"]
+
+
+class TestMaxRoundsLimit:
+    class _Forever(NodeProgram):
+        def __init__(self):
+            self.rounds_seen = 0
+
+        def on_start(self, ctx):
+            for v in ctx.neighbors:
+                ctx.send(v, "ping")
+
+        def on_round(self, ctx, inbox):
+            self.rounds_seen += 1
+            for v in ctx.neighbors:
+                ctx.send(v, "ping")
+
+    def test_limit_is_inclusive_not_exceeded(self, path5):
+        programs = {v: self._Forever() for v in path5.nodes}
+        sim = Simulator(path5, programs)
+        with pytest.raises(SimulationError):
+            sim.run_to_completion(max_rounds=5)
+        # Exactly max_rounds rounds executed, never max_rounds + 1.
+        assert max(p.rounds_seen for p in programs.values()) == 5
+
+    def test_zero_limit_executes_no_rounds(self, path5):
+        programs = {v: self._Forever() for v in path5.nodes}
+        sim = Simulator(path5, programs)
+        with pytest.raises(SimulationError):
+            sim.run_to_completion(max_rounds=0)
+        assert all(p.rounds_seen == 0 for p in programs.values())
+
+    def test_quiescing_exactly_at_limit_succeeds(self, path5):
+        class Relay(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(1, "tok")
+
+            def on_round(self, ctx, inbox):
+                if inbox and ctx.node_id < 4:
+                    ctx.send(ctx.node_id + 1, "tok")
+
+        programs = {v: Relay() for v in path5.nodes}
+        rounds = Simulator(path5, programs).run_to_completion(max_rounds=4)
+        assert rounds == 4
+
+
 class TestFloodMax:
     def test_everyone_learns_max(self, grid44):
         programs = {v: FloodMaxLeaderElection() for v in grid44.nodes}

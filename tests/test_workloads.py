@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.workloads import (
+    grid_graph,
     grid_instance,
     random_connected_graph,
     random_geometric_graph,
@@ -66,3 +67,76 @@ class TestInstanceGenerators:
         inst = grid_instance(4, 4, 2, random.Random(6))
         assert inst.graph.num_nodes == 16
         assert inst.num_components == 2
+
+
+def _graph_fingerprint(graph):
+    """Byte-exact identity of a graph: nodes in order, weighted edges."""
+    return repr((graph.nodes, graph.edges()))
+
+
+def _instance_fingerprint(inst):
+    """Byte-exact identity of an instance: graph, labels, components."""
+    labels = sorted(inst.labels.items(), key=repr)
+    components = sorted(
+        (label, sorted(members, key=repr))
+        for label, members in inst.components.items()
+    )
+    return repr((_graph_fingerprint(inst.graph), labels, components))
+
+
+class TestSeededReproducibility:
+    """Same seed ⇒ byte-identical output, for every graph family."""
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda rng: random_connected_graph(15, 0.3, rng),
+            lambda rng: random_connected_graph(10, 0.0, rng),  # fallback
+            lambda rng: random_geometric_graph(15, 0.5, rng),
+            lambda rng: random_geometric_graph(12, 0.01, rng),  # fallback
+            lambda rng: grid_graph(3, 4, rng),
+            lambda rng: ring_of_blobs(3, 4, rng),
+        ],
+        ids=[
+            "gnp", "gnp-compose-fallback",
+            "geometric", "geometric-compose-fallback",
+            "grid", "ring-of-blobs",
+        ],
+    )
+    def test_graph_family_reproducible(self, build):
+        a = build(random.Random(42))
+        b = build(random.Random(42))
+        assert _graph_fingerprint(a) == _graph_fingerprint(b)
+
+    def test_connectivity_fallback_path_taken_and_connected(self):
+        # p=0 leaves G(n,p) edgeless, forcing the nx.compose path-graph
+        # fallback; the result must still be connected and reproducible.
+        g = random_connected_graph(10, 0.0, random.Random(9))
+        assert g.is_connected()
+        assert g.num_edges == 9  # exactly the fallback path
+
+    def test_geometric_fallback_connected(self):
+        g = random_geometric_graph(12, 0.01, random.Random(9))
+        assert g.is_connected()
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda rng: random_instance(14, 3, rng),
+            lambda rng: random_instance(10, 2, rng, p=0.0),  # fallback
+            lambda rng: grid_instance(4, 4, 2, rng),
+            lambda rng: terminals_on_graph(
+                ring_of_blobs(3, 4, rng), 3, 2, rng
+            ),
+        ],
+        ids=["random", "random-compose-fallback", "grid", "ring"],
+    )
+    def test_instances_reproducible(self, build):
+        a = build(random.Random(1234))
+        b = build(random.Random(1234))
+        assert _instance_fingerprint(a) == _instance_fingerprint(b)
+
+    def test_different_seeds_differ(self):
+        a = random_connected_graph(15, 0.3, random.Random(1))
+        b = random_connected_graph(15, 0.3, random.Random(2))
+        assert _graph_fingerprint(a) != _graph_fingerprint(b)
