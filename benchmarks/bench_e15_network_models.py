@@ -1,0 +1,125 @@
+"""E15 — network-model sweep: one scenario × adverse channels.
+
+Crosses one graph family / algorithm pair with four network conditions
+through the experiment engine and checks the model-layer invariants: the
+solver's output is channel-independent (the network is a delivery layer,
+not an algorithm change), every condition gets its own cache key, and the
+synchronizer-emulation overhead ranks conditions the obvious way
+(reliable ≤ lossy ≤ delay for these parameters). A second benchmark runs
+the flooding node program under increasing loss on the message-level
+simulator and checks convergence degrades monotonically in drop rate.
+"""
+
+import random
+
+from benchmarks.conftest import print_table
+from repro.congest.simulator import FloodMaxLeaderElection, Simulator
+from repro.engine import ScenarioSpec, run_spec
+from repro.netmodel import LossyChannel
+from repro.workloads import random_connected_graph
+
+NETWORKS = [
+    "reliable",
+    {"model": "lossy", "params": {"drop_p": 0.1, "retransmit": 1}},
+    {"model": "delay", "params": {"max_delay": 3}},
+    {"model": "bandwidth", "params": {"cap_bits": 8}},
+]
+
+SPEC = ScenarioSpec(
+    name="e15-network-models",
+    family="gnp",
+    algorithms=("distributed",),
+    grid={"n": 20, "p": 0.25, "k": 2, "component_size": 2},
+    network=NETWORKS,
+    seeds=2,
+    description="one scenario × four network conditions",
+)
+
+
+def run_sweep():
+    stats = run_spec(SPEC, parallel=False)
+    by_model = {}
+    for record in stats.records:
+        metrics = record["metrics"]
+        entry = by_model.setdefault(
+            record["network_model"],
+            {"keys": set(), "weights": [], "rounds": [], "emulated": []},
+        )
+        entry["keys"].add(record["key"])
+        entry["weights"].append(metrics["weight"])
+        entry["rounds"].append(metrics["rounds"])
+        entry["emulated"].append(
+            metrics.get("emulated_rounds", metrics["rounds"])
+        )
+    rows = [
+        (
+            model,
+            len(entry["keys"]),
+            f"{sum(entry['weights']) / len(entry['weights']):.1f}",
+            f"{sum(entry['rounds']) / len(entry['rounds']):.1f}",
+            f"{sum(entry['emulated']) / len(entry['emulated']):.1f}",
+        )
+        for model, entry in sorted(by_model.items())
+    ]
+    return by_model, rows
+
+
+def test_e15_network_sweep(benchmark):
+    by_model, rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "E15: one scenario × network conditions (distributed, G(n,p))",
+        ("network", "cache keys", "mean W", "mean rounds", "mean emulated"),
+        rows,
+    )
+    assert set(by_model) == {"reliable", "lossy", "delay", "bandwidth"}
+    # Distinct cache keys per condition; no row shadowing across models.
+    all_keys = [k for entry in by_model.values() for k in entry["keys"]]
+    assert len(set(all_keys)) == len(all_keys)
+    # The channel never changes the computed forest.
+    weights = {tuple(sorted(entry["weights"])) for entry in by_model.values()}
+    assert len(weights) == 1
+    # Emulation overhead ranks: clean ≤ lossy(0.1, 1 retry) ≤ delay(3).
+    def mean(xs):
+        return sum(xs) / len(xs)
+
+    assert (
+        mean(by_model["reliable"]["emulated"])
+        <= mean(by_model["lossy"]["emulated"])
+        <= mean(by_model["delay"]["emulated"])
+    )
+
+
+def test_e15_flood_under_loss(benchmark):
+    """Flood convergence degrades monotonically with the drop rate."""
+    graph = random_connected_graph(24, 0.2, random.Random(11))
+
+    def run_probe():
+        rows = []
+        for drop_p in (0.0, 0.2, 0.4):
+            programs = {v: FloodMaxLeaderElection() for v in graph.nodes}
+            sim = Simulator(
+                graph,
+                programs,
+                network=LossyChannel(drop_p=drop_p, retransmit=2),
+                net_seed=13,
+            )
+            rounds = sim.run_to_completion()
+            correct = sum(
+                p.leader == max(graph.nodes) for p in programs.values()
+            )
+            rows.append(
+                (drop_p, rounds, correct, sim.network.stats["dropped"])
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_probe, rounds=1, iterations=1)
+    print_table(
+        "E15: flooding under i.i.d. loss (n=24, retransmit=2)",
+        ("drop_p", "rounds", "correct nodes", "dropped"),
+        rows,
+    )
+    # Loss-free flooding informs everyone; drops only lose information.
+    assert rows[0][2] == graph.num_nodes
+    assert rows[0][3] == 0
+    for lossless, lossy in zip(rows, rows[1:]):
+        assert lossy[2] <= lossless[2] or lossy[3] > lossless[3]

@@ -10,7 +10,10 @@ The library implements the paper's algorithms on a CONGEST-model simulator:
   (:func:`repro.randomized.randomized_steiner_forest`),
 * the baselines it improves upon (:mod:`repro.baselines`),
 * the Section 3 lower-bound gadgets (:mod:`repro.lowerbounds`),
-* exact reference solvers for ratio measurements (:mod:`repro.exact`).
+* exact reference solvers for ratio measurements (:mod:`repro.exact`),
+* pluggable network conditions — loss, crash-stop, bounded delay,
+  bandwidth caps — plus message tracing for the node-program simulator
+  (:mod:`repro.netmodel`).
 
 Quickstart::
 

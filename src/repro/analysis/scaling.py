@@ -8,7 +8,7 @@ ratio summaries.
 """
 
 import math
-from typing import List, NamedTuple, Sequence, Tuple
+from typing import List, NamedTuple, Sequence
 
 import numpy as np
 

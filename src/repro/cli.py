@@ -21,17 +21,10 @@ import argparse
 import json
 import random
 import sys
-from typing import List, Optional
+from dataclasses import replace
+from typing import Any, Dict, List, Optional
 
-from repro.engine import (
-    ALGORITHMS,
-    GRAPH_FAMILIES,
-    REGISTRY,
-    ResultStore,
-    ScenarioSpec,
-    render_report,
-    run_suite,
-)
+from repro.engine import ALGORITHMS, REGISTRY, ResultStore, ScenarioSpec, render_report, run_suite
 from repro.exact import steiner_forest_cost
 from repro.lowerbounds import (
     cr_dichotomy_holds,
@@ -41,9 +34,48 @@ from repro.lowerbounds import (
     measure_cut_traffic,
     random_disjointness_sets,
 )
+from repro.netmodel import NETWORK_MODELS
 from repro.workloads import random_instance
 
 DEFAULT_STORE = "results/experiments.jsonl"
+
+
+def parse_network_arg(text: str) -> Dict[str, Any]:
+    """Parse a ``--network`` value into a canonical network spec.
+
+    Accepts a model name (``lossy``), a name with ``key=value``
+    parameters (``lossy:drop_p=0.2,retransmit=2`` — values parse as
+    JSON, with bracket-aware comma splitting so ``victims=[0,1]``
+    works), or a full JSON spec object.
+    """
+    text = text.strip()
+    if text.startswith("{"):
+        spec = json.loads(text)
+        return {"model": spec["model"], "params": dict(spec.get("params", {}))}
+    name, _, raw_params = text.partition(":")
+    params: Dict[str, Any] = {}
+    depth, item, items = 0, "", []
+    for char in raw_params:
+        if char in "[{(":
+            depth += 1
+        elif char in ")}]":
+            depth -= 1
+        if char == "," and depth == 0:
+            items.append(item)
+            item = ""
+        else:
+            item += char
+    if item:
+        items.append(item)
+    for entry in items:
+        key, sep, value = entry.partition("=")
+        if not sep:
+            raise ValueError(f"bad network parameter {entry!r} (want key=value)")
+        try:
+            params[key.strip()] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key.strip()] = value.strip()
+    return {"model": name.strip(), "params": params}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -107,6 +139,13 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--scenario", default=None, help="restrict to one scenario"
     )
+    report.add_argument(
+        "--network",
+        default=None,
+        metavar="MODEL",
+        help="restrict to one network model "
+        f"({', '.join(sorted(NETWORK_MODELS))})",
+    )
     return parser
 
 
@@ -128,6 +167,15 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         "--serial",
         action="store_true",
         help="run jobs in-process instead of worker processes",
+    )
+    parser.add_argument(
+        "--network",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="override the network axis (repeatable): a model name "
+        f"({', '.join(sorted(NETWORK_MODELS))}), NAME:key=value,..., "
+        "or a JSON spec object",
     )
 
 
@@ -184,6 +232,13 @@ def _cmd_gadget(args) -> int:
 
 
 def _run_engine(args, specs: List[ScenarioSpec]) -> int:
+    if args.network:
+        try:
+            networks = [parse_network_arg(text) for text in args.network]
+            specs = [replace(spec, network=networks) for spec in specs]
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: invalid --network: {exc}", file=sys.stderr)
+            return 2
     store = None if args.no_store else ResultStore(args.store)
     all_stats = run_suite(
         specs,
@@ -207,10 +262,14 @@ def _run_engine(args, specs: List[ScenarioSpec]) -> int:
 
 def _cmd_sweep(args) -> int:
     if args.list:
-        print(f"{'scenario':16s} {'family':10s} {'algorithms'}")
+        print(f"{'scenario':16s} {'family':10s} {'networks':28s} {'algorithms'}")
         for name in REGISTRY.names():
             spec = REGISTRY.get(name)
-            print(f"{name:16s} {spec.family:10s} {', '.join(spec.algorithms)}")
+            networks = ", ".join(spec.network_names)
+            print(
+                f"{name:16s} {spec.family:10s} {networks:28s} "
+                f"{', '.join(spec.algorithms)}"
+            )
         return 0
     try:
         specs = REGISTRY.specs(args.scenario or ())
@@ -235,7 +294,7 @@ def _cmd_batch(args) -> int:
 
 def _cmd_report(args) -> int:
     store = ResultStore(args.store)
-    records = store.select(scenario=args.scenario)
+    records = store.select(scenario=args.scenario, network=args.network)
     print(render_report(records))
     return 0
 

@@ -29,11 +29,19 @@ Example::
                 ctx.halt()
 """
 
+import random
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.congest.run import CongestRun
 from repro.exceptions import CongestViolationError, SimulationError
 from repro.model.graph import Node, WeightedGraph
+from repro.netmodel import (
+    NetworkModel,
+    TraceRecorder,
+    build_network_model,
+    node_sort_key,
+    payload_bits,
+)
 
 
 class Context:
@@ -78,6 +86,23 @@ class Simulator:
     The simulator shares its :class:`CongestRun` ledger with the rest of
     the library, so node-program executions and primitive executions
     compose into one round count.
+
+    Message delivery is owned by a :class:`~repro.netmodel.NetworkModel`:
+    every queued message passes through ``network.schedule`` at the start
+    of the round that would normally deliver it, and the model decides the
+    delivery round(s) — or drops the message. The default ``reliable``
+    model reproduces the clean synchronous channel exactly. An optional
+    :class:`~repro.netmodel.TraceRecorder` captures per-message and
+    per-round traffic events.
+
+    Args:
+        graph: the network topology.
+        programs: one :class:`NodeProgram` per node.
+        run: shared ledger (a fresh one is created when omitted).
+        network: a network condition — a model instance, a canonical spec
+            dict, a registered model name, or None for ``reliable``.
+        trace: recorder for message/volume trace events.
+        net_seed: seed for the network model's RNG (loss/delay draws).
     """
 
     def __init__(
@@ -85,14 +110,24 @@ class Simulator:
         graph: WeightedGraph,
         programs: Dict[Node, NodeProgram],
         run: Optional[CongestRun] = None,
+        network: Any = None,
+        trace: Optional[TraceRecorder] = None,
+        net_seed: int = 0,
     ) -> None:
         if set(programs) != set(graph.nodes):
             raise SimulationError("every node needs exactly one program")
         self.graph = graph
         self.programs = programs
         self.run = run if run is not None else CongestRun(graph)
+        self.network: NetworkModel = build_network_model(network)
+        self.network.bind(graph, random.Random(net_seed))
+        self.trace = trace
         self.contexts = {v: Context(self, v) for v in graph.nodes}
+        self.round = 0
         self._outbox: Dict[Tuple[Node, Node], Any] = {}
+        #: Scheduled messages by absolute delivery round; entries keep
+        #: their flush order, so delivery stays deterministic.
+        self._in_flight: Dict[int, List[Tuple[Node, Node, Any]]] = {}
         self._halted: set = set()
 
     # -- internal hooks used by Context --------------------------------
@@ -116,34 +151,107 @@ class Simulator:
 
     @property
     def all_halted(self) -> bool:
-        return len(self._halted) == len(self.graph.nodes)
+        """Every node has halted or been removed by the network model
+        (crashed nodes count as terminated)."""
+        if len(self._halted) == len(self.graph.nodes):
+            return True
+        if not self.network.removes_nodes:
+            return False
+        return all(
+            v in self._halted or not self.network.alive(v)
+            for v in self.graph.nodes
+        )
+
+    @property
+    def has_pending(self) -> bool:
+        """Messages queued or in flight."""
+        return bool(self._outbox) or bool(self._in_flight)
 
     def start(self) -> None:
         """Run every program's on_start (round 0, local only)."""
         for v in self.graph.nodes:
             self.programs[v].on_start(self.contexts[v])
 
+    def _flush_outbox(self) -> Dict[Tuple[Node, Node], int]:
+        """Hand queued messages to the network model; returns the ledger
+        traffic for this round.
+
+        Deterministic order must depend on the (sender, receiver) key
+        only, never on the payload — and on a type-stable total order,
+        never on ``repr`` (under which ``repr(9) > repr(10)``).
+        """
+        traffic: Dict[Tuple[Node, Node], int] = {}
+        sent = sorted(
+            self._outbox.items(),
+            key=lambda item: (node_sort_key(item[0][0]), node_sort_key(item[0][1])),
+        )
+        self._outbox = {}
+        removes_nodes = self.network.removes_nodes
+        for (sender, receiver), payload in sent:
+            if removes_nodes and not self.network.alive(sender):
+                # The sender crashed before its queued send hit the wire.
+                self.network.stats["lost_sender_crashed"] += 1
+                if self.trace is not None:
+                    self.trace.record_lost(
+                        self.round, sender, receiver, "sender_crashed"
+                    )
+                continue
+            traffic[(sender, receiver)] = 1
+            delivery_rounds = self.network.schedule(
+                sender, receiver, payload, self.round
+            )
+            for when in delivery_rounds:
+                if when < self.round:
+                    raise SimulationError(
+                        f"network model {self.network.name!r} scheduled a "
+                        f"delivery in the past (round {when} < {self.round})"
+                    )
+                self._in_flight.setdefault(when, []).append(
+                    (sender, receiver, payload)
+                )
+            if self.trace is not None:
+                self.trace.record_send(
+                    self.round, sender, receiver, payload, delivery_rounds
+                )
+        return traffic
+
     def step(self) -> bool:
         """Execute one synchronous round; returns False when quiescent
-        (no messages in flight and/or all nodes halted)."""
-        if not self._outbox or self.all_halted:
+        (no messages queued or in flight, and/or all nodes halted)."""
+        if not self.has_pending or self.all_halted:
             return False
-        traffic = {key: 1 for key in self._outbox}
+        self.round += 1
+        self.network.begin_round(self.round)
+        traffic = self._flush_outbox()
         self.run.tick(traffic)
+        due = self._in_flight.pop(self.round, [])
         inboxes: Dict[Node, List[Tuple[Node, Any]]] = {}
-        # Deterministic delivery order must depend on the (sender,
-        # receiver) key only, never on the payload.
-        for (sender, receiver), payload in sorted(
-            self._outbox.items(), key=lambda item: repr(item[0])
-        ):
+        delivered = dropped = bits = 0
+        removes_nodes = self.network.removes_nodes
+        for sender, receiver, payload in due:
+            if removes_nodes and not self.network.alive(receiver):
+                dropped += 1
+                self.network.stats["lost_receiver_crashed"] += 1
+                if self.trace is not None:
+                    self.trace.record_lost(
+                        self.round, sender, receiver, "receiver_crashed"
+                    )
+                continue
             inboxes.setdefault(receiver, []).append((sender, payload))
-        self._outbox = {}
+            delivered += 1
+            bits += payload_bits(payload)
         for v in self.graph.nodes:
-            if v in self._halted:
+            if v in self._halted or (
+                removes_nodes and not self.network.alive(v)
+            ):
                 continue
             ctx = self.contexts[v]
-            ctx.round += 1
+            ctx.round = self.round
             self.programs[v].on_round(ctx, inboxes.get(v, []))
+        if self.trace is not None:
+            self.trace.record_round(
+                self.round, len(traffic), delivered, dropped, bits
+            )
         return True
 
     def run_to_completion(self, max_rounds: int = 100_000) -> int:
@@ -156,7 +264,7 @@ class Simulator:
         """
         self.start()
         rounds = 0
-        while self._outbox and not self.all_halted:
+        while self.has_pending and not self.all_halted:
             if rounds >= max_rounds:
                 raise SimulationError(
                     f"node programs did not quiesce in {max_rounds} rounds"
@@ -186,7 +294,9 @@ class FloodMaxLeaderElection(NodeProgram):
     def on_round(self, ctx: Context, inbox: List[Tuple[Node, Any]]) -> None:
         improved = False
         for _, candidate in inbox:
-            if repr(candidate) > repr(self.leader):
+            # A type-stable total order on IDs: integers compare
+            # numerically (repr would elect 9 over 10).
+            if node_sort_key(candidate) > node_sort_key(self.leader):
                 self.leader = candidate
                 improved = True
         if improved:
@@ -210,6 +320,10 @@ class EchoBroadcast(NodeProgram):
             self._pending = set(ctx.neighbors)
             for v in ctx.neighbors:
                 ctx.send(v, "wave")
+            if not self._pending:
+                # Isolated root: the broadcast is complete immediately.
+                self.done = True
+                ctx.halt()
 
     def on_round(self, ctx: Context, inbox: List[Tuple[Node, Any]]) -> None:
         for sender, payload in inbox:

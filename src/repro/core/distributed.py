@@ -47,13 +47,13 @@ Theorem 4.17.
 from fractions import Fraction
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
-from repro.congest.bfs import BFSTree, build_bfs_tree
+from repro.congest.bfs import build_bfs_tree
 from repro.congest.bellman_ford import bellman_ford
 from repro.congest.broadcast import broadcast_items, upcast_items
 from repro.congest.pipeline import MergeItem, pipelined_filtered_upcast
 from repro.congest.run import CongestRun
 from repro.exceptions import SimulationError
-from repro.model.graph import Edge, Node, WeightedGraph, canonical_edge
+from repro.model.graph import Edge, Node, canonical_edge
 from repro.model.instance import SteinerForestInstance
 from repro.model.solution import ForestSolution
 from repro.util import UnionFind

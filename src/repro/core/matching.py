@@ -13,7 +13,7 @@ explicit proposal graphs; the caller charges the simulated communication
 spanning trees, Lemma F.4).
 """
 
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Optional, Set, Tuple
 
 Vertex = Hashable
 

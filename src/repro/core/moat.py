@@ -27,7 +27,7 @@ benchmarks use it to verify the 2-approximation without exact solvers.
 from fractions import Fraction
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
-from repro.model.graph import Edge, Node, WeightedGraph, canonical_edge
+from repro.model.graph import Edge, Node, canonical_edge
 from repro.model.instance import SteinerForestInstance
 from repro.model.solution import ForestSolution
 from repro.util import UnionFind

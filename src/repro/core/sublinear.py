@@ -30,7 +30,7 @@ experiment E4 contrasts with the O(ks + t) of Section 4.1.
 
 import math
 from fractions import Fraction
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.congest.bfs import build_bfs_tree
 from repro.congest.bellman_ford import bellman_ford
@@ -40,9 +40,8 @@ from repro.core.matching import maximal_matching_from_proposals
 from repro.core.moat import MergeEvent, MoatGrowingResult
 from repro.core.pruning import fast_pruning
 from repro.core.rounded import rounded_moat_growing
-from repro.model.graph import Edge, Node, canonical_edge
+from repro.model.graph import Edge, Node
 from repro.model.instance import SteinerForestInstance
-from repro.model.solution import ForestSolution
 from repro.util import UnionFind
 
 

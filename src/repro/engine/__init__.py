@@ -17,6 +17,11 @@ first-class subsystem:
 * :mod:`repro.engine.aggregate` — grouping and statistics feeding
   :mod:`repro.analysis.scaling`.
 * :mod:`repro.engine.report` — text report rendering for stores.
+
+Scenario specs carry a **network axis** (:mod:`repro.netmodel`): each
+job is the cross product of graph family × algorithm × network
+condition, and every condition hashes to its own result-store cache
+key (the clean default keeps schema-v1 keys).
 """
 
 from repro.engine.algorithms import ALGORITHMS, AlgorithmSpec

@@ -27,7 +27,7 @@ def _mean(values: Sequence[float]) -> Optional[float]:
 
 
 class AggregateRow(NamedTuple):
-    """Per-(scenario, algorithm) summary statistics."""
+    """Per-(scenario, network, algorithm) summary statistics."""
 
     scenario: str
     algorithm: str
@@ -38,6 +38,7 @@ class AggregateRow(NamedTuple):
     mean_ratio: Optional[float]
     max_ratio: Optional[float]
     total_wall_time: float
+    network: str = "reliable"
 
 
 def group_records(
@@ -51,12 +52,31 @@ def group_records(
     return dict(sorted(groups.items(), key=lambda item: repr(item[0])))
 
 
+def _network_name(record: Mapping[str, Any]) -> str:
+    """Grouping key: stamped on v2 records, ``reliable`` for v1 rows
+    and runner-free records."""
+    name = record.get("network_model")
+    if name is None:
+        name = record.get("network", {}).get("model", "reliable")
+    return name
+
+
 def aggregate_records(
     records: Iterable[Mapping[str, Any]],
 ) -> List[AggregateRow]:
-    """One :class:`AggregateRow` per (scenario, algorithm) group."""
+    """One :class:`AggregateRow` per (scenario, network, algorithm) group."""
     rows = []
-    for (scenario, algorithm), group in group_records(records).items():
+    groups = defaultdict(list)
+    for record in records:
+        key = (
+            record.get("scenario"),
+            _network_name(record),
+            record.get("algorithm"),
+        )
+        groups[key].append(record)
+    for (scenario, network, algorithm), group in sorted(
+        groups.items(), key=lambda item: repr(item[0])
+    ):
         weights = [w for r in group if (w := _metric(r, "weight")) is not None]
         rounds = [x for r in group if (x := _metric(r, "rounds")) is not None]
         ratios = [x for r in group if (x := _metric(r, "ratio")) is not None]
@@ -72,6 +92,7 @@ def aggregate_records(
                 mean_ratio=_mean(ratios),
                 max_ratio=max(ratios) if ratios else None,
                 total_wall_time=sum(walls),
+                network=network,
             )
         )
     return rows

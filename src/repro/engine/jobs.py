@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Tuple
 
 from repro.engine.registry import PLACEMENT_KEYS, ScenarioSpec
+from repro.netmodel import is_default_network, normalize_network
 
 
 def canonical_json(value: Any) -> str:
@@ -67,6 +68,11 @@ class Job:
         k / component_size: terminal placement.
         algorithm: registered algorithm name.
         algo_params: resolved solver keyword arguments.
+        network: canonical network-condition spec (see
+            :func:`repro.netmodel.normalize_network`). The clean default
+            is *omitted* from :meth:`identity`, so default-network jobs
+            keep the exact cache keys and derived seeds of schema-v1
+            stores; every non-default condition hashes to its own key.
         seed_index: repetition index within the spec.
         exact: whether to compute the exact optimum and ratio.
     """
@@ -78,12 +84,18 @@ class Job:
     component_size: int
     algorithm: str
     algo_params: Mapping[str, Any] = field(default_factory=dict)
+    network: Mapping[str, Any] = field(
+        default_factory=lambda: normalize_network(None)
+    )
     seed_index: int = 0
     exact: bool = False
 
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "network", normalize_network(self.network))
+
     def identity(self) -> Dict[str, Any]:
         """The full configuration that defines this job's cache key."""
-        return {
+        ident = {
             "scenario": self.scenario,
             "family": self.family,
             "family_params": dict(self.family_params),
@@ -94,6 +106,12 @@ class Job:
             "seed_index": self.seed_index,
             "exact": self.exact,
         }
+        if not is_default_network(self.network):
+            ident["network"] = {
+                "model": self.network["model"],
+                "params": dict(self.network["params"]),
+            }
+        return ident
 
     def instance_identity(self) -> Dict[str, Any]:
         """The sub-configuration that defines the instance (graph +
@@ -123,7 +141,12 @@ class Job:
         return derive_seed(placement, "placement")
 
     def algorithm_seed(self) -> int:
-        return derive_seed(self.identity(), "algorithm")
+        # Deliberately network-independent: the channel must not change
+        # the algorithm's coin flips, so cross-network comparisons of a
+        # randomized algorithm compare identical executions.
+        ident = self.identity()
+        ident.pop("network", None)
+        return derive_seed(ident, "algorithm")
 
     def to_dict(self) -> Dict[str, Any]:
         return self.identity()
@@ -138,6 +161,7 @@ class Job:
             component_size=int(data["component_size"]),
             algorithm=data["algorithm"],
             algo_params=dict(data.get("algo_params", {})),
+            network=normalize_network(data.get("network")),
             seed_index=int(data.get("seed_index", 0)),
             exact=bool(data.get("exact", False)),
         )
@@ -154,23 +178,26 @@ def _split_placement(
 
 
 def iter_jobs(spec: ScenarioSpec) -> Iterator[Job]:
-    """Expand a spec into jobs: grid × algo_grid × algorithms × seeds."""
+    """Expand a spec into jobs: grid × network × algo_grid × algorithms
+    × seeds."""
     for params in expand_grid(spec.grid):
         family_params, k, component_size = _split_placement(params)
-        for algo_params in expand_grid(spec.algo_grid):
-            for algorithm in spec.algorithms:
-                for seed_index in range(spec.seeds):
-                    yield Job(
-                        scenario=spec.name,
-                        family=spec.family,
-                        family_params=family_params,
-                        k=k,
-                        component_size=component_size,
-                        algorithm=algorithm,
-                        algo_params=algo_params,
-                        seed_index=seed_index,
-                        exact=spec.exact,
-                    )
+        for network in spec.network:
+            for algo_params in expand_grid(spec.algo_grid):
+                for algorithm in spec.algorithms:
+                    for seed_index in range(spec.seeds):
+                        yield Job(
+                            scenario=spec.name,
+                            family=spec.family,
+                            family_params=family_params,
+                            k=k,
+                            component_size=component_size,
+                            algorithm=algorithm,
+                            algo_params=algo_params,
+                            network=network,
+                            seed_index=seed_index,
+                            exact=spec.exact,
+                        )
 
 
 def expand_jobs(spec: ScenarioSpec) -> List[Job]:

@@ -13,6 +13,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, NamedTuple, Tup
 
 from repro.engine.algorithms import ALGORITHMS
 from repro.model.graph import WeightedGraph
+from repro.netmodel import NETWORK_MODELS, build_network_model, normalize_network
 from repro.workloads import (
     grid_graph,
     random_connected_graph,
@@ -74,6 +75,30 @@ GRAPH_FAMILIES: Mapping[str, GraphFamily] = {
 PLACEMENT_KEYS = ("k", "component_size")
 
 
+def normalize_networks(network: Any) -> Tuple[Dict[str, Any], ...]:
+    """Normalize a spec's network axis to a tuple of canonical spec dicts.
+
+    Accepts one network shorthand or a list/tuple of them (the sweep
+    axis); validates model names against the netmodel registry so bad
+    specs fail at construction time, not mid-sweep.
+    """
+    entries = network if isinstance(network, (list, tuple)) else [network]
+    if not entries:
+        entries = [None]
+    specs = [normalize_network(entry) for entry in entries]
+    unknown = [s["model"] for s in specs if s["model"] not in NETWORK_MODELS]
+    if unknown:
+        raise ValueError(
+            f"unknown network models {unknown}; "
+            f"choose from {sorted(NETWORK_MODELS)}"
+        )
+    for spec in specs:
+        # Instantiate once so bad parameters surface here (ValueError),
+        # not as a crashed worker halfway through a sweep.
+        build_network_model(spec)
+    return tuple(specs)
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """A declarative experiment scenario.
@@ -88,6 +113,10 @@ class ScenarioSpec:
             passed to the family's graph builder.
         algo_grid: per-algorithm keyword grid (e.g. ``{"eps": ["1/10",
             "1/2"]}``), swept the same way.
+        network: network condition(s) to cross the scenario with — a
+            model name, a ``{"model", "params"}`` spec, or a list of
+            either to sweep. Normalized to a tuple of canonical spec
+            dicts; defaults to the clean ``reliable`` channel.
         seeds: number of independent repetitions per grid point.
         exact: whether to also compute the exact optimum (exponential
             time — keep instances small) and record the ratio.
@@ -99,6 +128,7 @@ class ScenarioSpec:
     algorithms: Tuple[str, ...]
     grid: Mapping[str, Any] = field(default_factory=dict)
     algo_grid: Mapping[str, Any] = field(default_factory=dict)
+    network: Any = "reliable"
     seeds: int = 3
     exact: bool = False
     description: str = ""
@@ -120,6 +150,14 @@ class ScenarioSpec:
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "grid", dict(self.grid))
         object.__setattr__(self, "algo_grid", dict(self.algo_grid))
+        object.__setattr__(
+            self, "network", normalize_networks(self.network)
+        )
+
+    @property
+    def network_names(self) -> Tuple[str, ...]:
+        """The model names of the scenario's network axis (for ``--list``)."""
+        return tuple(spec["model"] for spec in self.network)
 
     # -- (de)serialization for spec files and hashing --------------------
 
@@ -130,6 +168,10 @@ class ScenarioSpec:
             "algorithms": list(self.algorithms),
             "grid": dict(self.grid),
             "algo_grid": dict(self.algo_grid),
+            "network": [
+                {"model": spec["model"], "params": dict(spec["params"])}
+                for spec in self.network
+            ],
             "seeds": self.seeds,
             "exact": self.exact,
             "description": self.description,
@@ -143,6 +185,7 @@ class ScenarioSpec:
             algorithms=tuple(data["algorithms"]),
             grid=dict(data.get("grid", {})),
             algo_grid=dict(data.get("algo_grid", {})),
+            network=data.get("network", "reliable"),
             seeds=int(data.get("seeds", 3)),
             exact=bool(data.get("exact", False)),
             description=str(data.get("description", "")),
@@ -221,5 +264,21 @@ REGISTRY.register(
         grid={"num_blobs": [3, 4], "blob_size": 3, "k": 2, "component_size": 2},
         seeds=2,
         description="ring-of-blobs: sweeping shortest-path diameter s",
+    )
+)
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="gnp-adversity",
+        family="gnp",
+        algorithms=("distributed",),
+        grid={"n": [12, 16], "p": 0.3, "k": 2, "component_size": 2},
+        network=[
+            "reliable",
+            {"model": "delay", "params": {"max_delay": 3}},
+            {"model": "lossy", "params": {"drop_p": 0.1, "retransmit": 2}},
+        ],
+        seeds=2,
+        description="one scenario × three network conditions (netmodel sweep)",
     )
 )

@@ -24,27 +24,38 @@ def _fmt(value: Any, spec: str = ".2f") -> str:
 
 
 def render_report(records: List[Mapping[str, Any]]) -> str:
-    """Aggregate ``records`` into per-scenario tables plus scaling fits."""
+    """Aggregate ``records`` into per-scenario tables plus scaling fits.
+
+    When a scenario's records span more than one network condition (or
+    any adverse one), the table grows a ``network`` column so the
+    conditions read side by side.
+    """
     if not records:
         return "no records"
     sections = []
     for (scenario,), group in group_records(records, by=("scenario",)).items():
+        aggregates = aggregate_records(group)
+        networks = {agg.network for agg in aggregates}
+        show_network = networks != {"reliable"}
         rows = []
-        for agg in aggregate_records(group):
-            rows.append(
-                (
-                    agg.algorithm,
-                    agg.jobs,
-                    _fmt(agg.mean_weight, ".1f"),
-                    _fmt(agg.mean_rounds, ".1f"),
-                    _fmt(agg.max_ratio, ".3f"),
-                    _fmt(agg.total_wall_time, ".3f"),
-                )
-            )
-        table = format_table(
-            ("algorithm", "jobs", "mean W", "mean rounds", "max ratio", "wall s"),
-            rows,
-        )
+        for agg in aggregates:
+            row = [
+                agg.algorithm,
+                agg.jobs,
+                _fmt(agg.mean_weight, ".1f"),
+                _fmt(agg.mean_rounds, ".1f"),
+                _fmt(agg.max_ratio, ".3f"),
+                _fmt(agg.total_wall_time, ".3f"),
+            ]
+            if show_network:
+                row.insert(1, agg.network)
+            rows.append(tuple(row))
+        header = [
+            "algorithm", "jobs", "mean W", "mean rounds", "max ratio", "wall s",
+        ]
+        if show_network:
+            header.insert(1, "network")
+        table = format_table(tuple(header), rows)
         fits = []
         for (algorithm,), algo_group in group_records(
             group, by=("algorithm",)

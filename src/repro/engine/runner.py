@@ -17,6 +17,7 @@ from repro.engine.jobs import Job, expand_jobs
 from repro.engine.registry import GRAPH_FAMILIES, ScenarioSpec
 from repro.engine.store import SCHEMA_VERSION, ResultStore
 from repro.model.instance import SteinerForestInstance
+from repro.netmodel import build_network_model
 from repro.workloads import terminals_on_graph
 
 #: Result attributes promoted to metrics whenever the solver exposes them.
@@ -64,6 +65,15 @@ def execute_job(job_dict: Mapping[str, Any]) -> Dict[str, Any]:
         metrics["bits"] = run.bits
         if run.edge_messages:
             metrics["max_edge_messages"] = max(run.edge_messages.values())
+    network_model = build_network_model(job.network)
+    if network_model.name != "reliable" and rounds is not None:
+        # The solvers run against the clean ledger; surface the network
+        # condition's latency overhead via the model's synchronizer
+        # accounting (see NetworkModel.emulated_rounds).
+        metrics["emulated_rounds"] = network_model.emulated_rounds(
+            rounds,
+            bandwidth_bits=run.bandwidth_bits if run is not None else None,
+        )
     for attr in _OPTIONAL_RESULT_METRICS:
         value = getattr(result, attr, None)
         if value is not None:
@@ -80,6 +90,13 @@ def execute_job(job_dict: Mapping[str, Any]) -> Dict[str, Any]:
     record = job.identity()
     record["key"] = job.key
     record["schema"] = SCHEMA_VERSION
+    # Explicit display/grouping fields: identity() omits the default
+    # network (cache-key stability), records never do.
+    record["network"] = {
+        "model": network_model.name,
+        "params": dict(job.network["params"]),
+    }
+    record["network_model"] = network_model.name
     record["metrics"] = metrics
     return record
 

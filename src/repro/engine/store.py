@@ -19,7 +19,23 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
-SCHEMA_VERSION = 1
+#: v1: no network condition. v2: records carry ``network`` (canonical
+#: spec dict) and ``network_model`` (model name, the grouping field).
+#: v1 rows read back as the clean ``reliable`` channel — their cache
+#: keys are unchanged (default-network jobs hash identically), so old
+#: stores keep absorbing re-runs.
+SCHEMA_VERSION = 2
+
+_RELIABLE = {"model": "reliable", "params": {}}
+
+
+def _upgrade(row: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a stored row to the current schema in memory."""
+    if "network" not in row:
+        row["network"] = dict(_RELIABLE, params={})
+    if "network_model" not in row:
+        row["network_model"] = row["network"].get("model", "reliable")
+    return row
 
 
 class ResultStore:
@@ -39,7 +55,7 @@ class ResultStore:
                     for line in handle:
                         line = line.strip()
                         if line:
-                            rows.append(json.loads(line))
+                            rows.append(_upgrade(json.loads(line)))
             self._cache = rows
         return self._cache
 
@@ -55,12 +71,16 @@ class ResultStore:
         self,
         scenario: Optional[str] = None,
         keys: Optional[Iterable[str]] = None,
+        network: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
-        """Records filtered by scenario and/or an explicit key set."""
+        """Records filtered by scenario, network model name, and/or an
+        explicit key set."""
         wanted = set(keys) if keys is not None else None
         out = []
         for record in self._load():
             if scenario is not None and record.get("scenario") != scenario:
+                continue
+            if network is not None and record.get("network_model") != network:
                 continue
             if wanted is not None and record["key"] not in wanted:
                 continue
@@ -80,7 +100,7 @@ class ResultStore:
         """
         rows = []
         for record in records:
-            row = dict(record)
+            row = _upgrade(dict(record))
             row.setdefault("schema", SCHEMA_VERSION)
             rows.append(row)
         if not rows:

@@ -14,12 +14,11 @@ components, far beyond what ratio measurements need.
 """
 
 from itertools import combinations
-from typing import FrozenSet, Iterable, Iterator, List, Sequence, Set, Tuple
+from typing import FrozenSet, Iterator, List, Sequence, Set
 
 from repro.exact.steiner_tree import steiner_tree_cost
-from repro.model.graph import Edge, Node, WeightedGraph, canonical_edge
+from repro.model.graph import Edge, Node
 from repro.model.instance import SteinerForestInstance
-from repro.model.solution import ForestSolution
 from repro.util import UnionFind
 
 

@@ -1,0 +1,55 @@
+"""Network-model subsystem: pluggable adversity for the CONGEST simulator.
+
+The paper analyzes its algorithms in the clean synchronous CONGEST model;
+this package makes the network condition a first-class, swappable layer
+beneath the algorithms:
+
+* :mod:`repro.netmodel.base` — the :class:`NetworkModel` delivery
+  interface, canonical spec normalization, and the type-stable node
+  ordering shared with the simulator.
+* :mod:`repro.netmodel.models` — built-in conditions: reliable
+  synchronous (default), bounded-delay asynchrony, lossy channels with
+  retransmit budgets, crash-stop failures, and bandwidth caps.
+* :mod:`repro.netmodel.trace` — :class:`TraceRecorder`, JSONL
+  message/volume traces for replay and congestion profiling.
+
+The experiment engine threads canonical network specs through scenario
+definitions and job identities, so a sweep crosses algorithms × graph
+families × network conditions with one result-store cache key per cell.
+"""
+
+from repro.netmodel.base import (
+    DEFAULT_NETWORK,
+    NetworkModel,
+    is_default_network,
+    node_sort_key,
+    normalize_network,
+    payload_bits,
+)
+from repro.netmodel.models import (
+    NETWORK_MODELS,
+    BandwidthCap,
+    BoundedDelayAsync,
+    CrashStop,
+    LossyChannel,
+    ReliableSynchronous,
+    build_network_model,
+)
+from repro.netmodel.trace import TraceRecorder
+
+__all__ = [
+    "DEFAULT_NETWORK",
+    "NetworkModel",
+    "is_default_network",
+    "node_sort_key",
+    "normalize_network",
+    "payload_bits",
+    "NETWORK_MODELS",
+    "BandwidthCap",
+    "BoundedDelayAsync",
+    "CrashStop",
+    "LossyChannel",
+    "ReliableSynchronous",
+    "build_network_model",
+    "TraceRecorder",
+]

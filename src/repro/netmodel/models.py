@@ -1,0 +1,246 @@
+"""Built-in network models: the clean channel and four adversities.
+
+Each model is a small, independently testable delivery policy:
+
+* :class:`ReliableSynchronous` — the paper's model; zero overhead.
+* :class:`BoundedDelayAsync` — every message takes 1..``max_delay``
+  rounds (seeded i.i.d. uniform), the classic bounded-delay
+  asynchronous channel.
+* :class:`LossyChannel` — i.i.d. drop probability ``p`` per
+  transmission, with an optional sender-side retransmit budget; a
+  retransmission costs one extra round of latency per attempt.
+* :class:`CrashStop` — an adversary kills a scheduled set of nodes at
+  the start of a chosen round; crashed nodes stop executing, their
+  queued messages are lost, and in-flight messages addressed to them
+  vanish at delivery time.
+* :class:`BandwidthCap` — enforces a ``cap_bits`` payload budget: an
+  oversized payload is serialized over ⌈size/cap⌉ fragment rounds
+  (arriving when the last fragment does), or rejected outright in
+  ``strict`` mode, mirroring the ledger's B-bit message bound.
+"""
+
+import math
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.exceptions import CongestViolationError
+from repro.model.graph import Node
+from repro.netmodel.base import NetworkModel, payload_bits
+
+
+class ReliableSynchronous(NetworkModel):
+    """The default clean channel (explicit alias of the base class)."""
+
+    name = "reliable"
+
+
+class BoundedDelayAsync(NetworkModel):
+    """Each message is delayed a uniform 1..``max_delay`` rounds.
+
+    ``max_delay=1`` degenerates to the synchronous channel. Delivery
+    order within a round stays deterministic (the simulator drains
+    messages in flush order), but messages from different senders may
+    overtake each other — the standard bounded-delay adversary.
+    """
+
+    name = "delay"
+
+    def __init__(self, max_delay: int = 3) -> None:
+        super().__init__()
+        if max_delay < 1:
+            raise ValueError("max_delay must be >= 1")
+        self.max_delay = int(max_delay)
+
+    def params(self) -> Dict[str, Any]:
+        return {"max_delay": self.max_delay}
+
+    def schedule(
+        self, sender: Node, receiver: Node, payload: Any, round_index: int
+    ) -> List[int]:
+        delay = self.rng.randint(1, self.max_delay)
+        if delay > 1:
+            self.stats["delayed"] += 1
+        return [round_index + delay - 1]
+
+    def emulated_rounds(
+        self, rounds: int, bandwidth_bits: Optional[int] = None
+    ) -> int:
+        # An α-synchronizer waits out the worst-case delay each pulse.
+        return rounds * self.max_delay
+
+
+class LossyChannel(NetworkModel):
+    """i.i.d. message loss with an optional retransmit budget.
+
+    Every transmission attempt independently fails with probability
+    ``drop_p``. With ``retransmit=r`` the sender retries up to ``r``
+    times; attempt ``i`` (0-based) arrives at ``round + i``, so each
+    retry costs one round of latency. A message whose every attempt
+    fails is dropped for good.
+    """
+
+    name = "lossy"
+
+    def __init__(self, drop_p: float = 0.1, retransmit: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= drop_p < 1.0:
+            raise ValueError("drop_p must be in [0, 1)")
+        if retransmit < 0:
+            raise ValueError("retransmit must be >= 0")
+        self.drop_p = float(drop_p)
+        self.retransmit = int(retransmit)
+
+    def params(self) -> Dict[str, Any]:
+        return {"drop_p": self.drop_p, "retransmit": self.retransmit}
+
+    def schedule(
+        self, sender: Node, receiver: Node, payload: Any, round_index: int
+    ) -> List[int]:
+        for attempt in range(1 + self.retransmit):
+            if self.rng.random() >= self.drop_p:
+                if attempt:
+                    self.stats["retransmissions"] += attempt
+                return [round_index + attempt]
+        self.stats["dropped"] += 1
+        return []
+
+    def emulated_rounds(
+        self, rounds: int, bandwidth_bits: Optional[int] = None
+    ) -> int:
+        # Expected attempts per message under the truncated-geometric
+        # retry policy: sum_{i<a} p^i with a = 1 + retransmit.
+        attempts = 1 + self.retransmit
+        expected = (1.0 - self.drop_p ** attempts) / (1.0 - self.drop_p)
+        return math.ceil(rounds * expected)
+
+
+class CrashStop(NetworkModel):
+    """Crash-stop failures: ``victims`` die at the start of ``at_round``.
+
+    A crashed node stops executing (``on_round`` is never called again),
+    its not-yet-flushed outbox is lost, and in-flight messages addressed
+    to it disappear silently — the receiver side of crash-stop. Messages
+    it put on the wire in earlier rounds still arrive.
+    """
+
+    name = "crash"
+    removes_nodes = True
+
+    def __init__(self, victims: Iterable[Node] = (), at_round: int = 1) -> None:
+        super().__init__()
+        if at_round < 1:
+            raise ValueError("at_round must be >= 1")
+        self.victims = tuple(victims)
+        self.at_round = int(at_round)
+        self._crashed: Set[Node] = set()
+
+    def params(self) -> Dict[str, Any]:
+        return {"victims": list(self.victims), "at_round": self.at_round}
+
+    def reset(self) -> None:
+        self._crashed = set()
+
+    def begin_round(self, round_index: int) -> None:
+        if round_index >= self.at_round and not self._crashed:
+            self._crashed = set(self.victims)
+            self.stats["crashed"] = len(self._crashed)
+
+    def alive(self, node: Node) -> bool:
+        return node not in self._crashed
+
+    def schedule(
+        self, sender: Node, receiver: Node, payload: Any, round_index: int
+    ) -> List[int]:
+        return [round_index]
+
+    def extra_metrics(self) -> Dict[str, int]:
+        metrics = dict(self.stats)
+        metrics.setdefault("crashed", 0)
+        return metrics
+
+
+class BandwidthCap(NetworkModel):
+    """Enforce a ``cap_bits`` payload budget per message.
+
+    The ledger (:class:`~repro.congest.run.CongestRun`) already accounts
+    every message at B bits; this model makes the bound bite at the
+    payload level. A payload of ``payload_bits(p) > cap_bits`` is either
+    rejected (``strict=True``, raising
+    :class:`~repro.exceptions.CongestViolationError`) or serialized over
+    ``ceil(size / cap_bits)`` fragment rounds, arriving with the last
+    fragment.
+    """
+
+    name = "bandwidth"
+
+    def __init__(self, cap_bits: int = 64, strict: bool = False) -> None:
+        super().__init__()
+        if cap_bits < 1:
+            raise ValueError("cap_bits must be >= 1")
+        self.cap_bits = int(cap_bits)
+        self.strict = bool(strict)
+
+    def params(self) -> Dict[str, Any]:
+        return {"cap_bits": self.cap_bits, "strict": self.strict}
+
+    def schedule(
+        self, sender: Node, receiver: Node, payload: Any, round_index: int
+    ) -> List[int]:
+        size = payload_bits(payload)
+        fragments = max(1, math.ceil(size / self.cap_bits))
+        if fragments > 1:
+            if self.strict:
+                raise CongestViolationError(
+                    f"payload from {sender!r} to {receiver!r} needs {size} "
+                    f"bits but the channel caps messages at {self.cap_bits}"
+                )
+            self.stats["fragmented"] += 1
+            self.stats["fragments"] += fragments
+        return [round_index + fragments - 1]
+
+    def emulated_rounds(
+        self, rounds: int, bandwidth_bits: Optional[int] = None
+    ) -> int:
+        # Re-encoding B-bit ledger messages into cap-bit fragments costs
+        # ceil(B / cap) rounds per original round.
+        if bandwidth_bits is None:
+            return rounds
+        return rounds * max(1, math.ceil(bandwidth_bits / self.cap_bits))
+
+
+#: Registered model classes by canonical name.
+NETWORK_MODELS: Mapping[str, type] = {
+    cls.name: cls
+    for cls in (
+        ReliableSynchronous,
+        BoundedDelayAsync,
+        LossyChannel,
+        CrashStop,
+        BandwidthCap,
+    )
+}
+
+
+def build_network_model(network: Any = None) -> NetworkModel:
+    """Instantiate a model from anything :func:`normalize_network` accepts.
+
+    A constructed :class:`NetworkModel` passes through unchanged, so
+    callers can hand the simulator a pre-configured instance.
+    """
+    if isinstance(network, NetworkModel):
+        return network
+    from repro.netmodel.base import normalize_network
+
+    spec = normalize_network(network)
+    try:
+        cls = NETWORK_MODELS[spec["model"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown network model {spec['model']!r}; "
+            f"choose from {sorted(NETWORK_MODELS)}"
+        ) from None
+    try:
+        return cls(**spec["params"])
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for network model {spec['model']!r}: {exc}"
+        ) from None

@@ -1,0 +1,142 @@
+"""Per-round message tracing for simulator executions.
+
+A :class:`TraceRecorder` attached to a :class:`~repro.congest.simulator.
+Simulator` captures one event per message transmission (send round, fate,
+delivery round) plus one summary event per round (sent/delivered/dropped
+counts and payload volume). Events are plain JSON-able dicts so traces
+dump to JSONL for offline congestion profiling and load back for replay
+assertions — the same append-only format as the engine's result store.
+"""
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.netmodel.base import payload_bits
+
+
+def _describe(payload: Any) -> str:
+    """A short, JSON-safe rendering of a payload for trace events."""
+    text = repr(payload)
+    return text if len(text) <= 80 else text[:77] + "..."
+
+
+class TraceRecorder:
+    """Accumulates message/round events; optionally streams to JSONL."""
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.path = Path(path) if path is not None else None
+        self._handle = None
+
+    # -- recording (called by the simulator) -----------------------------
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+        if self.path is not None:
+            if self._handle is None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self.path.open("w", encoding="utf-8")
+            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+            # Streaming mode promises a live file: flush per event so a
+            # concurrent reader (or a dying run) sees every record.
+            self._handle.flush()
+
+    def record_send(
+        self,
+        round_index: int,
+        sender: Any,
+        receiver: Any,
+        payload: Any,
+        delivery_rounds: Iterable[int],
+    ) -> None:
+        """One transmission: empty ``delivery_rounds`` means dropped."""
+        rounds = sorted(delivery_rounds)
+        self._emit(
+            {
+                "event": "send",
+                "round": round_index,
+                "sender": _describe(sender),
+                "receiver": _describe(receiver),
+                "payload": _describe(payload),
+                "bits": payload_bits(payload),
+                "delivery_rounds": rounds,
+                "dropped": not rounds,
+            }
+        )
+
+    def record_lost(
+        self, round_index: int, sender: Any, receiver: Any, reason: str
+    ) -> None:
+        """A message lost outside ``schedule`` (e.g. receiver crashed)."""
+        self._emit(
+            {
+                "event": "lost",
+                "round": round_index,
+                "sender": _describe(sender),
+                "receiver": _describe(receiver),
+                "reason": reason,
+            }
+        )
+
+    def record_round(
+        self, round_index: int, sent: int, delivered: int, dropped: int, bits: int
+    ) -> None:
+        """Per-round traffic summary (the congestion-profile row)."""
+        self._emit(
+            {
+                "event": "round",
+                "round": round_index,
+                "sent": sent,
+                "delivered": delivered,
+                "dropped": dropped,
+                "bits": bits,
+            }
+        )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # -- inspection ------------------------------------------------------
+
+    def sends(self) -> Iterator[Dict[str, Any]]:
+        return (e for e in self.events if e["event"] == "send")
+
+    def rounds(self) -> Iterator[Dict[str, Any]]:
+        return (e for e in self.events if e["event"] == "round")
+
+    def volume_by_round(self) -> Dict[int, int]:
+        """Bits put on the wire per round (the congestion profile)."""
+        return {e["round"]: e["bits"] for e in self.rounds()}
+
+    def total_dropped(self) -> int:
+        drops = sum(1 for e in self.sends() if e["dropped"])
+        return drops + sum(1 for e in self.events if e["event"] == "lost")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- persistence -----------------------------------------------------
+
+    def dump(self, path: os.PathLike) -> int:
+        """Write every event to ``path`` as JSONL; returns event count."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with target.open("w", encoding="utf-8") as handle:
+            for event in self.events:
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        return len(self.events)
+
+    @classmethod
+    def load(cls, path: os.PathLike) -> "TraceRecorder":
+        """Read a dumped trace back for replay/profiling assertions."""
+        recorder = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    recorder.events.append(json.loads(line))
+        return recorder

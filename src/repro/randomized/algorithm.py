@@ -22,7 +22,7 @@ from repro.baselines.spanner import spanner_steiner_forest
 from repro.congest.bellman_ford import bellman_ford
 from repro.congest.bfs import build_bfs_tree, default_root
 from repro.congest.run import CongestRun
-from repro.model.graph import Edge, WeightedGraph
+from repro.model.graph import Edge
 from repro.model.instance import SteinerForestInstance
 from repro.model.solution import ForestSolution
 from repro.randomized.embedding import VirtualTreeEmbedding, build_embedding

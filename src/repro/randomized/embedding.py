@@ -27,7 +27,7 @@ Bellman–Ford computations on the simulator (Voronoi w.r.t. S, hop-capped at
 import math
 import random
 from fractions import Fraction
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.congest.bellman_ford import bellman_ford
 from repro.congest.bfs import build_bfs_tree

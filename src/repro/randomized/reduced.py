@@ -24,7 +24,7 @@ super-terminals; on w.h.p. executions this set is empty.
 """
 
 import math
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Optional, Set, Tuple
 
 from fractions import Fraction
 

@@ -8,11 +8,11 @@ shortest-path diameter s is directly controllable.
 """
 
 import random
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import networkx as nx
 
-from repro.model.graph import Node, WeightedGraph
+from repro.model.graph import WeightedGraph
 from repro.model.instance import SteinerForestInstance, instance_from_components
 
 

@@ -5,7 +5,7 @@ import random
 import networkx as nx
 import pytest
 
-from repro.model import SteinerForestInstance, WeightedGraph
+from repro.model import WeightedGraph
 from repro.model.instance import instance_from_components
 
 

@@ -2,12 +2,7 @@
 
 import pytest
 
-from repro.analysis import (
-    RatioSummary,
-    fit_power_law,
-    normalized_cost,
-    summarize_ratios,
-)
+from repro.analysis import fit_power_law, normalized_cost, summarize_ratios
 
 
 class TestPowerLaw:

@@ -55,8 +55,6 @@ class TestSpanner:
                 metric[u][v] = d
                 metric[v][u] = d
         # Fix triangle inequality by shortest-pathing the random metric.
-        import itertools
-
         for m in points:
             for u in points:
                 for v in points:

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import main
+from repro.cli import main, parse_network_arg
 
 
 class TestSolve:
@@ -127,6 +127,72 @@ class TestBatch:
         assert code == 0
         out = capsys.readouterr().out
         assert "adhoc" in out and "executed=   2" in out
+
+
+class TestNetworkOptions:
+    def test_parse_name_only(self):
+        assert parse_network_arg("lossy") == {"model": "lossy", "params": {}}
+
+    def test_parse_key_values(self):
+        spec = parse_network_arg("lossy:drop_p=0.2,retransmit=2")
+        assert spec == {
+            "model": "lossy",
+            "params": {"drop_p": 0.2, "retransmit": 2},
+        }
+
+    def test_parse_bracketed_list_value(self):
+        spec = parse_network_arg("crash:victims=[0,1],at_round=2")
+        assert spec["params"] == {"victims": [0, 1], "at_round": 2}
+
+    def test_parse_json_object(self):
+        text = '{"model": "delay", "params": {"max_delay": 3}}'
+        assert parse_network_arg(text)["params"] == {"max_delay": 3}
+
+    def test_parse_rejects_bare_parameter(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_network_arg("lossy:0.2")
+
+    def test_list_shows_network_axis(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "gnp-adversity" in out
+        assert "delay" in out and "lossy" in out
+
+    def test_sweep_network_override_distinct_cache_rows(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        args = [
+            "sweep", "--scenario", "grid-rounds", "--store", store, "--serial",
+            "--network", "reliable",
+            "--network", "delay:max_delay=2",
+            "--network", "lossy:drop_p=0.1",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "executed=  24 cached=   0" in out  # 8 base jobs × 3 networks
+        with open(store) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert len({row["key"] for row in rows}) == 24
+        assert {row["network_model"] for row in rows} == {
+            "reliable", "delay", "lossy",
+        }
+
+    def test_invalid_network_errors(self, capsys):
+        code = main(
+            ["sweep", "--scenario", "grid-rounds", "--no-store",
+             "--network", "lossy:oops"]
+        )
+        assert code == 2
+        assert "invalid --network" in capsys.readouterr().err
+
+    def test_report_network_filter(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        main(["sweep", "--scenario", "grid-rounds", "--store", store,
+              "--serial", "--network", "delay:max_delay=2"])
+        capsys.readouterr()
+        assert main(["report", "--store", store, "--network", "delay"]) == 0
+        assert "delay" in capsys.readouterr().out
+        assert main(["report", "--store", store, "--network", "crash"]) == 0
+        assert "no records" in capsys.readouterr().out
 
 
 class TestReport:

@@ -220,6 +220,168 @@ class TestAggregateAndReport:
         assert render_report([]) == "no records"
 
 
+class TestNetworkAxis:
+    NETWORKS = [
+        "reliable",
+        {"model": "delay", "params": {"max_delay": 3}},
+        {"model": "lossy", "params": {"drop_p": 0.2, "retransmit": 1}},
+    ]
+
+    def test_default_network_keeps_v1_identity(self):
+        job = expand_jobs(tiny_spec())[0]
+        # Schema-v1 cache keys and derived seeds depended on exactly
+        # these fields; the default network must not perturb them.
+        assert "network" not in job.identity()
+        assert set(job.identity()) == {
+            "scenario", "family", "family_params", "k", "component_size",
+            "algorithm", "algo_params", "seed_index", "exact",
+        }
+
+    def test_each_network_gets_its_own_cache_key(self):
+        spec = tiny_spec(network=self.NETWORKS)
+        jobs = expand_jobs(spec)
+        assert len(jobs) == 3 * len(expand_jobs(tiny_spec()))
+        keys = {job.key for job in jobs}
+        assert len(keys) == len(jobs)
+        by_network = {job.network["model"] for job in jobs}
+        assert by_network == {"reliable", "delay", "lossy"}
+
+    def test_algorithm_seed_is_network_independent(self):
+        spec = tiny_spec(network=self.NETWORKS, algorithms=("moat",))
+        jobs = [j for j in expand_jobs(spec) if j.seed_index == 0][:3]
+        seeds = {j.algorithm_seed() for j in jobs}
+        assert len(seeds) == 1  # same coins on every channel
+
+    def test_spec_round_trips_with_network(self):
+        spec = tiny_spec(network=self.NETWORKS)
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.network_names == ("reliable", "delay", "lossy")
+
+    def test_unknown_network_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown network models"):
+            tiny_spec(network="warp-drive")
+
+    def test_bad_network_params_rejected_at_construction(self):
+        # Mistyped parameters must fail when the spec is built, not as a
+        # crashed worker halfway through a sweep.
+        with pytest.raises(ValueError, match="bad parameters"):
+            tiny_spec(network={"model": "lossy", "params": {"dropp": 0.1}})
+
+    def test_sweep_crosses_networks_with_distinct_cached_rows(self, tmp_path):
+        spec = tiny_spec(
+            network=self.NETWORKS,
+            algorithms=("distributed",),
+            grid={"n": 8, "p": 0.4, "k": 2, "component_size": 2},
+        )
+        store = ResultStore(tmp_path / "r.jsonl")
+        stats = run_spec(spec, store=store, parallel=False)
+        assert stats.executed == 3
+        models = {r["network_model"] for r in stats.records}
+        assert models == {"reliable", "delay", "lossy"}
+        # Re-running hits the cache for every network condition.
+        again = run_spec(spec, store=store, parallel=False)
+        assert again.executed == 0 and again.cached == 3
+
+    def test_adverse_records_carry_emulated_rounds(self):
+        spec = tiny_spec(
+            network=[{"model": "delay", "params": {"max_delay": 4}}],
+            algorithms=("distributed",),
+            grid={"n": 8, "p": 0.4, "k": 2, "component_size": 2},
+        )
+        record = execute_job(expand_jobs(spec)[0].to_dict())
+        metrics = record["metrics"]
+        assert metrics["emulated_rounds"] == 4 * metrics["rounds"]
+
+    def test_reliable_records_have_no_emulated_rounds(self):
+        record = execute_job(expand_jobs(tiny_spec())[0].to_dict())
+        assert "emulated_rounds" not in record["metrics"]
+        assert record["network_model"] == "reliable"
+
+    def test_report_grows_network_column_only_when_adverse(self):
+        spec = tiny_spec(
+            network=self.NETWORKS,
+            algorithms=("distributed",),
+            grid={"n": 8, "p": 0.4, "k": 2, "component_size": 2},
+        )
+        adverse = render_report(run_spec(spec, parallel=False).records)
+        assert "network" in adverse and "lossy" in adverse
+        clean = render_report(run_spec(tiny_spec(), parallel=False).records)
+        assert "network" not in clean
+
+    def test_builtin_adversity_scenario_registered(self):
+        spec = REGISTRY.get("gnp-adversity")
+        assert len(spec.network_names) >= 3
+
+    def test_pre_netmodel_metrics_regression(self):
+        # Metrics snapshot taken before the netmodel subsystem existed:
+        # on the default channel, job seeds, instances, and results must
+        # reproduce exactly.
+        spec = ScenarioSpec(
+            name="t",
+            family="gnp",
+            algorithms=("distributed", "sublinear"),
+            grid={"n": 10, "p": 0.4, "k": 2, "component_size": 2},
+            seeds=1,
+        )
+        by_algo = {
+            job.algorithm: execute_job(job.to_dict())["metrics"]
+            for job in expand_jobs(spec)
+        }
+        assert by_algo["distributed"]["rounds"] == 54
+        assert by_algo["distributed"]["messages"] == 307
+        assert by_algo["distributed"]["weight"] == 18
+        assert by_algo["sublinear"]["rounds"] == 276
+        assert by_algo["sublinear"]["messages"] == 882
+        assert by_algo["sublinear"]["weight"] == 18
+
+
+class TestStoreSchemaMigration:
+    V1_ROW = {
+        "key": "v1-row",
+        "scenario": "legacy",
+        "algorithm": "moat",
+        "schema": 1,
+        "metrics": {"weight": 3},
+    }
+
+    def test_v1_rows_read_as_reliable(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(json.dumps(self.V1_ROW) + "\n")
+        store = ResultStore(path)
+        (row,) = store.records()
+        assert row["network"] == {"model": "reliable", "params": {}}
+        assert row["network_model"] == "reliable"
+
+    def test_mixed_version_round_trip(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(json.dumps(self.V1_ROW) + "\n")
+        store = ResultStore(path)
+        store.append(
+            [
+                {
+                    "key": "v2-row",
+                    "scenario": "legacy",
+                    "algorithm": "moat",
+                    "network": {"model": "lossy", "params": {"drop_p": 0.1}},
+                    "network_model": "lossy",
+                    "metrics": {"weight": 5},
+                }
+            ]
+        )
+        reread = ResultStore(path)  # fresh parse of the mixed file
+        assert reread.keys() == {"v1-row", "v2-row"}
+        assert [r["network_model"] for r in reread.records()] == [
+            "reliable", "lossy",
+        ]
+        # v2 appends are stamped with the bumped schema version.
+        assert [r["schema"] for r in reread.records()] == [1, 2]
+        assert [r["key"] for r in reread.select(network="lossy")] == ["v2-row"]
+        assert [r["key"] for r in reread.select(network="reliable")] == [
+            "v1-row"
+        ]
+
+
 class TestRegistryTables:
     def test_algorithm_specs_carry_runners(self):
         for name, spec in ALGORITHMS.items():

@@ -1,11 +1,10 @@
 """Unit tests for WeightedGraph: construction, metrics, paths, balls."""
 
-import random
 from fractions import Fraction
 
 import networkx as nx
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.exceptions import GraphValidationError
 from repro.model import WeightedGraph

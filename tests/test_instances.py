@@ -3,11 +3,7 @@
 import pytest
 
 from repro.exceptions import InstanceValidationError
-from repro.model import (
-    ConnectionRequestInstance,
-    SteinerForestInstance,
-    WeightedGraph,
-)
+from repro.model import ConnectionRequestInstance, SteinerForestInstance
 from repro.model.instance import instance_from_components
 
 

@@ -13,7 +13,7 @@ from repro.core import (
 )
 from repro.exact import steiner_forest_cost
 from repro.randomized import randomized_steiner_forest
-from repro.workloads import grid_instance, random_instance, ring_of_blobs, terminals_on_graph
+from repro.workloads import grid_instance, ring_of_blobs, terminals_on_graph
 from tests.conftest import make_random_instance
 
 

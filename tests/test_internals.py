@@ -2,15 +2,12 @@
 
 import math
 import random
-from fractions import Fraction
 
 import pytest
 
 from repro.baselines.spanner import greedy_spanner
 from repro.congest import CongestRun, build_bfs_tree, upcast_items
 from repro.core.pruning import _grow_clusters
-from repro.model import SteinerForestInstance, WeightedGraph
-from repro.model.instance import instance_from_components
 from repro.randomized import build_embedding, first_stage_selection
 from repro.randomized.reduced import build_reduced_instance
 from repro.workloads import random_connected_graph, terminals_on_graph

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.congest import CongestRun
 from repro.core import distributed_moat_growing
 from repro.lowerbounds import (
     cr_dichotomy_holds,

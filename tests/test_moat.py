@@ -7,7 +7,6 @@ import pytest
 from repro.core.moat import moat_growing
 from repro.exact import steiner_forest_cost
 from repro.model import SteinerForestInstance, WeightedGraph
-from repro.model.instance import instance_from_components
 from tests.conftest import make_random_instance
 
 

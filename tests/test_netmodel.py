@@ -1,0 +1,293 @@
+"""Tests for the network-model subsystem (repro.netmodel)."""
+
+import json
+
+import pytest
+
+from repro.congest.simulator import (
+    EchoBroadcast,
+    FloodMaxLeaderElection,
+    NodeProgram,
+    Simulator,
+)
+from repro.exceptions import CongestViolationError
+from repro.netmodel import (
+    NETWORK_MODELS,
+    BandwidthCap,
+    BoundedDelayAsync,
+    CrashStop,
+    LossyChannel,
+    NetworkModel,
+    ReliableSynchronous,
+    TraceRecorder,
+    build_network_model,
+    is_default_network,
+    node_sort_key,
+    normalize_network,
+    payload_bits,
+)
+
+
+def flood_run(graph, network=None, net_seed=0, trace=None, max_rounds=10_000):
+    programs = {v: FloodMaxLeaderElection() for v in graph.nodes}
+    sim = Simulator(
+        graph, programs, network=network, trace=trace, net_seed=net_seed
+    )
+    rounds = sim.run_to_completion(max_rounds=max_rounds)
+    return sim, programs, rounds
+
+
+class TestNodeSortKey:
+    def test_integers_sort_numerically(self):
+        assert sorted([10, 9, 2], key=node_sort_key) == [2, 9, 10]
+
+    def test_mixed_types_never_cross_compare(self):
+        values = [10, "9", 2, "a", (lambda: None)]
+        ordered = sorted(values, key=node_sort_key)
+        # Numbers precede strings precede other objects.
+        assert ordered[:2] == [2, 10]
+        assert ordered[2:4] == ["9", "a"]
+
+    def test_repr_pitfall_is_gone(self):
+        assert node_sort_key(9) < node_sort_key(10)
+        assert repr(9) > repr(10)  # the bug this key replaces
+
+
+class TestSpecNormalization:
+    def test_none_and_name_and_dict(self):
+        assert normalize_network(None) == {"model": "reliable", "params": {}}
+        assert normalize_network("lossy") == {"model": "lossy", "params": {}}
+        spec = normalize_network({"model": "delay", "params": {"max_delay": 2}})
+        assert spec == {"model": "delay", "params": {"max_delay": 2}}
+
+    def test_model_instance_round_trips(self):
+        model = LossyChannel(drop_p=0.25, retransmit=1)
+        spec = normalize_network(model)
+        clone = build_network_model(json.loads(json.dumps(spec)))
+        assert isinstance(clone, LossyChannel)
+        assert clone.drop_p == 0.25 and clone.retransmit == 1
+
+    def test_default_detection(self):
+        assert is_default_network(None)
+        assert is_default_network("reliable")
+        assert not is_default_network("lossy")
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError, match="unexpected network spec keys"):
+            normalize_network({"model": "lossy", "oops": 1})
+        with pytest.raises(ValueError, match="unknown network model"):
+            build_network_model("teleport")
+        with pytest.raises(ValueError, match="bad parameters"):
+            build_network_model({"model": "lossy", "params": {"nope": 1}})
+
+    def test_registry_covers_all_builtins(self):
+        assert set(NETWORK_MODELS) == {
+            "reliable", "delay", "lossy", "crash", "bandwidth",
+        }
+        for name, cls in NETWORK_MODELS.items():
+            assert issubclass(cls, NetworkModel)
+            assert cls.name == name
+
+
+class TestReliableSynchronous:
+    def test_byte_identical_to_default(self, grid33, path5):
+        # Pinned pre-netmodel round/message counts: the default channel
+        # must not perturb existing executions.
+        programs = {v: EchoBroadcast(0) for v in grid33.nodes}
+        sim = Simulator(grid33, programs, network=ReliableSynchronous())
+        assert sim.run_to_completion() == 8
+        assert sim.run.messages == 24
+
+        sim, programs, rounds = flood_run(path5, network="reliable")
+        assert rounds == 5
+        assert sim.run.messages == 24
+        assert all(p.leader == 4 for p in programs.values())
+
+    def test_no_overhead_in_emulation(self):
+        assert ReliableSynchronous().emulated_rounds(17) == 17
+
+
+class TestBoundedDelay:
+    def test_max_delay_one_is_synchronous(self, path5):
+        base = flood_run(path5)[2]
+        assert flood_run(path5, network=BoundedDelayAsync(max_delay=1))[2] == base
+
+    def test_delays_stretch_but_preserve_outcome(self, grid33):
+        sim, programs, rounds = flood_run(
+            grid33, network=BoundedDelayAsync(max_delay=4), net_seed=7
+        )
+        assert all(p.leader == max(grid33.nodes) for p in programs.values())
+        assert rounds >= flood_run(grid33)[2]
+        assert sim.network.stats["delayed"] > 0
+
+    def test_seeded_determinism(self, grid33):
+        runs = [
+            flood_run(grid33, network=BoundedDelayAsync(3), net_seed=5)[2]
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_emulation_overhead(self):
+        assert BoundedDelayAsync(max_delay=3).emulated_rounds(10) == 30
+
+    def test_rejects_bad_delay(self):
+        with pytest.raises(ValueError):
+            BoundedDelayAsync(max_delay=0)
+
+
+class TestLossyChannel:
+    def test_zero_loss_is_synchronous(self, path5):
+        assert flood_run(path5, network=LossyChannel(drop_p=0.0))[2] == 5
+
+    def test_drops_are_recorded(self, grid33):
+        sim, _, _ = flood_run(
+            grid33, network=LossyChannel(drop_p=0.6), net_seed=3
+        )
+        assert sim.network.stats["dropped"] > 0
+
+    def test_retransmit_budget_recovers_messages(self, grid33):
+        lossless_leader = max(grid33.nodes)
+        sim, programs, _ = flood_run(
+            grid33, network=LossyChannel(drop_p=0.5, retransmit=8), net_seed=3
+        )
+        # With a deep retry budget nearly every message eventually lands.
+        assert sim.network.stats["retransmissions"] > 0
+        assert any(p.leader == lossless_leader for p in programs.values())
+
+    def test_emulation_overhead(self):
+        # Expected attempts for p=0.5, one retry: 1 + 0.5 = 1.5.
+        assert LossyChannel(0.5, retransmit=1).emulated_rounds(10) == 15
+        assert LossyChannel(0.0).emulated_rounds(10) == 10
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LossyChannel(drop_p=1.0)
+        with pytest.raises(ValueError):
+            LossyChannel(retransmit=-1)
+
+
+class TestCrashStop:
+    def test_survivors_elect_among_themselves(self, path5):
+        sim, programs, _ = flood_run(
+            path5, network=CrashStop(victims=[4], at_round=1)
+        )
+        # Node 4 died before its first flush: survivors elect 3.
+        assert [programs[v].leader for v in range(4)] == [3, 3, 3, 3]
+        assert sim.network.stats["crashed"] == 1
+        assert sim.network.stats["lost_sender_crashed"] > 0
+
+    def test_late_crash_after_propagation(self, path5):
+        _, programs, _ = flood_run(
+            path5, network=CrashStop(victims=[4], at_round=10)
+        )
+        # The wave finished before the crash round: everyone knows 4.
+        assert all(p.leader == 4 for p in programs.values())
+
+    def test_messages_to_crashed_nodes_vanish(self, path5):
+        sim, _, _ = flood_run(path5, network=CrashStop(victims=[2], at_round=2))
+        assert sim.network.stats["lost_receiver_crashed"] > 0
+
+    def test_crashed_nodes_count_as_terminated(self, triangle):
+        class Mute(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(1, "x")
+
+            def on_round(self, ctx, inbox):
+                pass  # never halts, never replies
+
+        sim = Simulator(
+            triangle,
+            {v: Mute() for v in triangle.nodes},
+            network=CrashStop(victims=[0, 1, 2], at_round=2),
+        )
+        # All nodes crash in round 2; the run quiesces instead of hanging.
+        assert sim.run_to_completion(max_rounds=10) <= 2
+
+
+class TestBandwidthCap:
+    def test_small_payloads_unaffected(self, path5):
+        assert flood_run(path5, network=BandwidthCap(cap_bits=1024))[2] == 5
+
+    def test_oversized_payload_fragments(self, triangle):
+        received = []
+
+        class Blob(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(1, "x" * 100)
+
+            def on_round(self, ctx, inbox):
+                received.extend(inbox)
+
+        sim = Simulator(
+            triangle,
+            {v: Blob() for v in triangle.nodes},
+            network=BandwidthCap(cap_bits=64),
+        )
+        # The payload is 102 JSON chars = 816 bits: ceil(816 / 64) = 13
+        # fragment rounds, so the wave arrives in round 13, not round 1.
+        rounds = sim.run_to_completion()
+        assert rounds == 13
+        assert received == [(0, "x" * 100)]
+        assert sim.network.stats["fragmented"] == 1
+
+    def test_strict_mode_rejects(self, triangle):
+        class Blob(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(1, "x" * 100)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        sim = Simulator(
+            triangle,
+            {v: Blob() for v in triangle.nodes},
+            network=BandwidthCap(cap_bits=64, strict=True),
+        )
+        with pytest.raises(CongestViolationError, match="caps messages"):
+            sim.run_to_completion()
+
+    def test_emulation_uses_ledger_bandwidth(self):
+        model = BandwidthCap(cap_bits=8)
+        assert model.emulated_rounds(10, bandwidth_bits=16) == 20
+        assert model.emulated_rounds(10, bandwidth_bits=None) == 10
+
+    def test_payload_bits(self):
+        assert payload_bits("ab") == 8 * len('"ab"')
+        assert payload_bits({1, 2}) == 8 * len(repr({1, 2}))
+
+
+class TestTraceRecorder:
+    def test_captures_sends_and_rounds(self, path5):
+        trace = TraceRecorder()
+        flood_run(path5, trace=trace)
+        sends = list(trace.sends())
+        rounds = list(trace.rounds())
+        assert len(sends) == 24  # one event per ledger message
+        assert len(rounds) == 5
+        assert all(not e["dropped"] for e in sends)
+        assert set(trace.volume_by_round()) == {1, 2, 3, 4, 5}
+
+    def test_drop_events_recorded(self, grid33):
+        trace = TraceRecorder()
+        sim, _, _ = flood_run(
+            grid33, network=LossyChannel(drop_p=0.6), net_seed=3, trace=trace
+        )
+        assert trace.total_dropped() == sim.network.stats["dropped"]
+
+    def test_jsonl_round_trip(self, tmp_path, path5):
+        trace = TraceRecorder()
+        flood_run(path5, trace=trace)
+        target = tmp_path / "trace.jsonl"
+        assert trace.dump(target) == len(trace)
+        loaded = TraceRecorder.load(target)
+        assert loaded.events == trace.events
+
+    def test_streaming_to_path(self, tmp_path, path5):
+        target = tmp_path / "live.jsonl"
+        trace = TraceRecorder(path=target)
+        flood_run(path5, trace=trace)
+        trace.close()
+        assert TraceRecorder.load(target).events == trace.events

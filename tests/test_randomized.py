@@ -7,7 +7,7 @@ import pytest
 
 from repro.congest import CongestRun
 from repro.exact import steiner_forest_cost
-from repro.model import ForestSolution, SteinerForestInstance
+from repro.model import ForestSolution
 from repro.randomized import (
     build_embedding,
     build_reduced_instance,

@@ -3,13 +3,7 @@
 import pytest
 
 from repro.congest import CongestRun
-from repro.congest.simulator import (
-    Context,
-    EchoBroadcast,
-    FloodMaxLeaderElection,
-    NodeProgram,
-    Simulator,
-)
+from repro.congest.simulator import EchoBroadcast, FloodMaxLeaderElection, NodeProgram, Simulator
 from repro.exceptions import CongestViolationError, SimulationError
 from repro.model import WeightedGraph
 
@@ -127,6 +121,14 @@ class TestDeliveryOrder:
         for payloads in ({1: "z", 2: "a", 3: "m"}, {1: 0, 2: 99, 3: -5}):
             assert self._inbox_order(star, 0, payloads) == [1, 2, 3]
 
+    def test_inbox_order_numeric_with_mixed_digit_ids(self):
+        # repr-sorting would interleave two-digit IDs ("10" < "2" < "9");
+        # the type-stable key sorts sender IDs numerically.
+        senders = [2, 9, 10, 11]
+        star = WeightedGraph([5] + senders, [(s, 5, 1) for s in senders])
+        payloads = {s: "p" for s in senders}
+        assert self._inbox_order(star, 5, payloads) == [2, 9, 10, 11]
+
     def test_order_independent_of_payload_contents(self):
         # Adversarial node reprs make the repr of the *whole* outbox item
         # diverge only inside the payload region: the old sort key
@@ -196,7 +198,7 @@ class TestFloodMax:
         programs = {v: FloodMaxLeaderElection() for v in grid44.nodes}
         sim = Simulator(grid44, programs)
         rounds = sim.run_to_completion()
-        top = max(grid44.nodes, key=repr)
+        top = max(grid44.nodes)
         assert all(p.leader == top for p in programs.values())
         # Diameter-ish rounds plus patience slack.
         assert rounds <= grid44.unweighted_diameter() + 6
@@ -205,6 +207,23 @@ class TestFloodMax:
         programs = {v: FloodMaxLeaderElection() for v in path5.nodes}
         Simulator(path5, programs).run_to_completion()
         assert all(p.leader == 4 for p in programs.values())
+
+    def test_two_digit_ids_beat_repr_order(self):
+        # Regression: repr(9) > repr(10), so the old comparison elected
+        # node 9 on any graph containing both. Integer IDs must elect 10.
+        graph = WeightedGraph([9, 10], [(9, 10, 1)])
+        programs = {v: FloodMaxLeaderElection() for v in graph.nodes}
+        Simulator(graph, programs).run_to_completion()
+        assert programs[9].leader == 10
+        assert programs[10].leader == 10
+
+    def test_wider_id_range_elects_true_max(self):
+        nodes = [1, 5, 9, 10, 11, 30, 100]
+        edges = [(a, b, 1) for a, b in zip(nodes, nodes[1:])]
+        graph = WeightedGraph(nodes, edges)
+        programs = {v: FloodMaxLeaderElection() for v in graph.nodes}
+        Simulator(graph, programs).run_to_completion()
+        assert all(p.leader == 100 for p in programs.values())
 
 
 class TestEchoBroadcast:
@@ -228,3 +247,22 @@ class TestEchoBroadcast:
                 x = programs[x].parent
                 hops += 1
                 assert hops <= grid33.num_nodes
+
+    def test_single_node_graph_completes_immediately(self):
+        graph = WeightedGraph([0], [])
+        program = EchoBroadcast(0)
+        sim = Simulator(graph, {0: program})
+        rounds = sim.run_to_completion()
+        assert rounds == 0
+        assert program.informed and program.done
+        assert program.parent is None
+        assert sim.all_halted
+
+    def test_path_root_at_one_end(self, path5):
+        programs = {v: EchoBroadcast(0) for v in path5.nodes}
+        rounds = Simulator(path5, programs).run_to_completion()
+        # Wave travels 4 hops out, echo travels 4 hops back.
+        assert rounds == 8
+        assert all(p.informed and p.done for p in programs.values())
+        # The parent pointers form the path back to the root.
+        assert [programs[v].parent for v in path5.nodes] == [None, 0, 1, 2, 3]

@@ -2,7 +2,6 @@
 
 import random
 
-import networkx as nx
 import pytest
 
 from repro.baselines import exact_mst_weight

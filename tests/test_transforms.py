@@ -1,6 +1,5 @@
 """Tests for the DSF-CR ↔ DSF-IC transforms (Lemmas 2.3, 2.4)."""
 
-import pytest
 
 from repro.congest import (
     CongestRun,

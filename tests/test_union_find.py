@@ -1,6 +1,5 @@
 """Unit tests for the union-find structure."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.util import UnionFind
