@@ -25,6 +25,7 @@ from dataclasses import replace
 from typing import Any, Dict, List, Optional
 
 from repro.engine import ALGORITHMS, REGISTRY, ResultStore, ScenarioSpec, render_report, run_suite
+from repro.engine.runner import stderr_log
 from repro.exact import steiner_forest_cost
 from repro.lowerbounds import (
     cr_dichotomy_holds,
@@ -34,25 +35,16 @@ from repro.lowerbounds import (
     measure_cut_traffic,
     random_disjointness_sets,
 )
-from repro.netmodel import NETWORK_MODELS
+from repro.netmodel import NETWORK_MODELS, normalize_network
+from repro.simbackend import BACKENDS, normalize_backend
 from repro.workloads import random_instance
 
 DEFAULT_STORE = "results/experiments.jsonl"
 
 
-def parse_network_arg(text: str) -> Dict[str, Any]:
-    """Parse a ``--network`` value into a canonical network spec.
-
-    Accepts a model name (``lossy``), a name with ``key=value``
-    parameters (``lossy:drop_p=0.2,retransmit=2`` — values parse as
-    JSON, with bracket-aware comma splitting so ``victims=[0,1]``
-    works), or a full JSON spec object.
-    """
-    text = text.strip()
-    if text.startswith("{"):
-        spec = json.loads(text)
-        return {"model": spec["model"], "params": dict(spec.get("params", {}))}
-    name, _, raw_params = text.partition(":")
+def _parse_spec_params(raw_params: str, kind: str) -> Dict[str, Any]:
+    """Parse ``key=value,...`` (values parse as JSON, with bracket-aware
+    comma splitting so ``victims=[0,1]`` works)."""
     params: Dict[str, Any] = {}
     depth, item, items = 0, "", []
     for char in raw_params:
@@ -70,12 +62,45 @@ def parse_network_arg(text: str) -> Dict[str, Any]:
     for entry in items:
         key, sep, value = entry.partition("=")
         if not sep:
-            raise ValueError(f"bad network parameter {entry!r} (want key=value)")
+            raise ValueError(f"bad {kind} parameter {entry!r} (want key=value)")
         try:
             params[key.strip()] = json.loads(value)
         except json.JSONDecodeError:
             params[key.strip()] = value.strip()
-    return {"model": name.strip(), "params": params}
+    return params
+
+
+def parse_network_arg(text: str) -> Dict[str, Any]:
+    """Parse a ``--network`` value into a canonical network spec.
+
+    Accepts a model name (``lossy``), a name with ``key=value``
+    parameters (``lossy:drop_p=0.2,retransmit=2``), or a full JSON spec
+    object.
+    """
+    text = text.strip()
+    if text.startswith("{"):
+        # The canonical normalizer rejects misplaced keys, so a
+        # parameter nested one level too shallow errors instead of
+        # silently running the model with defaults.
+        return normalize_network(json.loads(text))
+    name, _, raw_params = text.partition(":")
+    return {"model": name.strip(), "params": _parse_spec_params(raw_params, "network")}
+
+
+def parse_backend_arg(text: str) -> Dict[str, Any]:
+    """Parse a ``--backend`` value into a canonical backend spec.
+
+    Accepts an engine name (``flatarray``), a name with ``key=value``
+    parameters (``sharded:num_shards=4``), or a full JSON spec object.
+    """
+    text = text.strip()
+    if text.startswith("{"):
+        # The canonical normalizer rejects misplaced keys, so a
+        # parameter nested one level too shallow errors instead of
+        # silently running the engine with defaults.
+        return normalize_backend(json.loads(text))
+    name, _, raw_params = text.partition(":")
+    return {"name": name.strip(), "params": _parse_spec_params(raw_params, "backend")}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -146,6 +171,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restrict to one network model "
         f"({', '.join(sorted(NETWORK_MODELS))})",
     )
+    report.add_argument(
+        "--backend",
+        default=None,
+        metavar="ENGINE",
+        help="restrict to one simulation backend "
+        f"({', '.join(sorted(BACKENDS))})",
+    )
     return parser
 
 
@@ -176,6 +208,15 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="override the network axis (repeatable): a model name "
         f"({', '.join(sorted(NETWORK_MODELS))}), NAME:key=value,..., "
         "or a JSON spec object",
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="override the simulation-backend axis (repeatable): an "
+        f"engine name ({', '.join(sorted(BACKENDS))}), "
+        "NAME:key=value,..., or a JSON spec object",
     )
 
 
@@ -239,12 +280,20 @@ def _run_engine(args, specs: List[ScenarioSpec]) -> int:
         except (ValueError, KeyError, json.JSONDecodeError) as exc:
             print(f"error: invalid --network: {exc}", file=sys.stderr)
             return 2
+    if args.backend:
+        try:
+            backends = [parse_backend_arg(text) for text in args.backend]
+            specs = [replace(spec, backend=backends) for spec in specs]
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"error: invalid --backend: {exc}", file=sys.stderr)
+            return 2
     store = None if args.no_store else ResultStore(args.store)
     all_stats = run_suite(
         specs,
         store=store,
         max_workers=args.workers,
         parallel=not args.serial,
+        log=stderr_log,
     )
     records = []
     for stats in all_stats:
@@ -294,7 +343,9 @@ def _cmd_batch(args) -> int:
 
 def _cmd_report(args) -> int:
     store = ResultStore(args.store)
-    records = store.select(scenario=args.scenario, network=args.network)
+    records = store.select(
+        scenario=args.scenario, network=args.network, backend=args.backend
+    )
     print(render_report(records))
     return 0
 

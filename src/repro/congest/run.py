@@ -96,6 +96,23 @@ class CongestRun:
                 self.messages += count
                 self.edge_messages[canonical_edge(sender, receiver)] += count
 
+    def charge_messages(self, canonical_edges: Iterable[Edge]) -> None:
+        """Batch-charge pre-validated traffic for the current round.
+
+        One message per entry; each entry must already be a canonical
+        edge of the graph with at most one occurrence per direction this
+        round (the caller — e.g. the flat-array simulation backend —
+        guarantees this structurally, so re-validating per message would
+        only re-pay the cost :meth:`tick` exists to amortize). Keeps the
+        charging rules (message count + per-edge counters) owned by the
+        ledger, with the same end state as ``tick(traffic)``.
+        """
+        count = 0
+        for edge in canonical_edges:
+            self.edge_messages[edge] += 1
+            count += 1
+        self.messages += count
+
     def charge_rounds(self, rounds: int, reason: str = "") -> None:
         """Analytically charge ``rounds`` rounds without per-edge traffic.
 

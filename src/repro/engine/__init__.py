@@ -18,10 +18,11 @@ first-class subsystem:
   :mod:`repro.analysis.scaling`.
 * :mod:`repro.engine.report` — text report rendering for stores.
 
-Scenario specs carry a **network axis** (:mod:`repro.netmodel`): each
-job is the cross product of graph family × algorithm × network
-condition, and every condition hashes to its own result-store cache
-key (the clean default keeps schema-v1 keys).
+Scenario specs carry a **network axis** (:mod:`repro.netmodel`) and a
+**backend axis** (:mod:`repro.simbackend`): each job is the cross
+product of graph family × algorithm × network condition × execution
+engine, and every non-default condition/engine hashes to its own
+result-store cache key (the clean defaults keep earlier-schema keys).
 """
 
 from repro.engine.algorithms import ALGORITHMS, AlgorithmSpec
@@ -35,7 +36,7 @@ from repro.engine.registry import (
     ScenarioSpec,
 )
 from repro.engine.report import render_report
-from repro.engine.runner import SweepStats, build_instance, execute_job, run_spec, run_suite
+from repro.engine.runner import SweepStats, build_instance, execute_job, run_spec, run_suite, stderr_log
 from repro.engine.store import ResultStore
 
 __all__ = [
@@ -59,5 +60,6 @@ __all__ = [
     "execute_job",
     "run_spec",
     "run_suite",
+    "stderr_log",
     "ResultStore",
 ]

@@ -27,7 +27,7 @@ def _mean(values: Sequence[float]) -> Optional[float]:
 
 
 class AggregateRow(NamedTuple):
-    """Per-(scenario, network, algorithm) summary statistics."""
+    """Per-(scenario, network, backend, algorithm) summary statistics."""
 
     scenario: str
     algorithm: str
@@ -39,6 +39,7 @@ class AggregateRow(NamedTuple):
     max_ratio: Optional[float]
     total_wall_time: float
     network: str = "reliable"
+    backend: str = "reference"
 
 
 def group_records(
@@ -53,7 +54,7 @@ def group_records(
 
 
 def _network_name(record: Mapping[str, Any]) -> str:
-    """Grouping key: stamped on v2 records, ``reliable`` for v1 rows
+    """Grouping key: stamped on v2+ records, ``reliable`` for v1 rows
     and runner-free records."""
     name = record.get("network_model")
     if name is None:
@@ -61,20 +62,31 @@ def _network_name(record: Mapping[str, Any]) -> str:
     return name
 
 
+def _backend_name(record: Mapping[str, Any]) -> str:
+    """Grouping key: stamped on v3 records, ``reference`` for older rows
+    and runner-free records."""
+    name = record.get("backend_name")
+    if name is None:
+        name = record.get("backend", {}).get("name", "reference")
+    return name
+
+
 def aggregate_records(
     records: Iterable[Mapping[str, Any]],
 ) -> List[AggregateRow]:
-    """One :class:`AggregateRow` per (scenario, network, algorithm) group."""
+    """One :class:`AggregateRow` per (scenario, network, backend,
+    algorithm) group."""
     rows = []
     groups = defaultdict(list)
     for record in records:
         key = (
             record.get("scenario"),
             _network_name(record),
+            _backend_name(record),
             record.get("algorithm"),
         )
         groups[key].append(record)
-    for (scenario, network, algorithm), group in sorted(
+    for (scenario, network, backend, algorithm), group in sorted(
         groups.items(), key=lambda item: repr(item[0])
     ):
         weights = [w for r in group if (w := _metric(r, "weight")) is not None]
@@ -93,6 +105,7 @@ def aggregate_records(
                 max_ratio=max(ratios) if ratios else None,
                 total_wall_time=sum(walls),
                 network=network,
+                backend=backend,
             )
         )
     return rows

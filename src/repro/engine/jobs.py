@@ -21,6 +21,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Tuple
 
 from repro.engine.registry import PLACEMENT_KEYS, ScenarioSpec
 from repro.netmodel import is_default_network, normalize_network
+from repro.simbackend import is_default_backend, normalize_backend
 
 
 def canonical_json(value: Any) -> str:
@@ -73,6 +74,11 @@ class Job:
             is *omitted* from :meth:`identity`, so default-network jobs
             keep the exact cache keys and derived seeds of schema-v1
             stores; every non-default condition hashes to its own key.
+        backend: canonical simulation-backend spec (see
+            :func:`repro.simbackend.normalize_backend`). Mirrors the
+            network axis: the default ``reference`` engine is *omitted*
+            from :meth:`identity` (schema-v2 cache keys unchanged), and
+            every non-default engine hashes to its own key.
         seed_index: repetition index within the spec.
         exact: whether to compute the exact optimum and ratio.
     """
@@ -87,11 +93,15 @@ class Job:
     network: Mapping[str, Any] = field(
         default_factory=lambda: normalize_network(None)
     )
+    backend: Mapping[str, Any] = field(
+        default_factory=lambda: normalize_backend(None)
+    )
     seed_index: int = 0
     exact: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "network", normalize_network(self.network))
+        object.__setattr__(self, "backend", normalize_backend(self.backend))
 
     def identity(self) -> Dict[str, Any]:
         """The full configuration that defines this job's cache key."""
@@ -110,6 +120,11 @@ class Job:
             ident["network"] = {
                 "model": self.network["model"],
                 "params": dict(self.network["params"]),
+            }
+        if not is_default_backend(self.backend):
+            ident["backend"] = {
+                "name": self.backend["name"],
+                "params": dict(self.backend["params"]),
             }
         return ident
 
@@ -141,11 +156,13 @@ class Job:
         return derive_seed(placement, "placement")
 
     def algorithm_seed(self) -> int:
-        # Deliberately network-independent: the channel must not change
-        # the algorithm's coin flips, so cross-network comparisons of a
+        # Deliberately network- and backend-independent: neither the
+        # channel nor the execution engine may change the algorithm's
+        # coin flips, so cross-network/backend comparisons of a
         # randomized algorithm compare identical executions.
         ident = self.identity()
         ident.pop("network", None)
+        ident.pop("backend", None)
         return derive_seed(ident, "algorithm")
 
     def to_dict(self) -> Dict[str, Any]:
@@ -162,6 +179,7 @@ class Job:
             algorithm=data["algorithm"],
             algo_params=dict(data.get("algo_params", {})),
             network=normalize_network(data.get("network")),
+            backend=normalize_backend(data.get("backend")),
             seed_index=int(data.get("seed_index", 0)),
             exact=bool(data.get("exact", False)),
         )
@@ -178,26 +196,28 @@ def _split_placement(
 
 
 def iter_jobs(spec: ScenarioSpec) -> Iterator[Job]:
-    """Expand a spec into jobs: grid × network × algo_grid × algorithms
-    × seeds."""
+    """Expand a spec into jobs: grid × network × backend × algo_grid ×
+    algorithms × seeds."""
     for params in expand_grid(spec.grid):
         family_params, k, component_size = _split_placement(params)
         for network in spec.network:
-            for algo_params in expand_grid(spec.algo_grid):
-                for algorithm in spec.algorithms:
-                    for seed_index in range(spec.seeds):
-                        yield Job(
-                            scenario=spec.name,
-                            family=spec.family,
-                            family_params=family_params,
-                            k=k,
-                            component_size=component_size,
-                            algorithm=algorithm,
-                            algo_params=algo_params,
-                            network=network,
-                            seed_index=seed_index,
-                            exact=spec.exact,
-                        )
+            for backend in spec.backend:
+                for algo_params in expand_grid(spec.algo_grid):
+                    for algorithm in spec.algorithms:
+                        for seed_index in range(spec.seeds):
+                            yield Job(
+                                scenario=spec.name,
+                                family=spec.family,
+                                family_params=family_params,
+                                k=k,
+                                component_size=component_size,
+                                algorithm=algorithm,
+                                algo_params=algo_params,
+                                network=network,
+                                backend=backend,
+                                seed_index=seed_index,
+                                exact=spec.exact,
+                            )
 
 
 def expand_jobs(spec: ScenarioSpec) -> List[Job]:

@@ -14,6 +14,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, NamedTuple, Tup
 from repro.engine.algorithms import ALGORITHMS
 from repro.model.graph import WeightedGraph
 from repro.netmodel import NETWORK_MODELS, build_network_model, normalize_network
+from repro.simbackend import BACKENDS, build_backend, normalize_backend
 from repro.workloads import (
     grid_graph,
     random_connected_graph,
@@ -99,6 +100,30 @@ def normalize_networks(network: Any) -> Tuple[Dict[str, Any], ...]:
     return tuple(specs)
 
 
+def normalize_backends(backend: Any) -> Tuple[Dict[str, Any], ...]:
+    """Normalize a spec's backend axis to a tuple of canonical spec dicts.
+
+    Accepts one backend shorthand or a list/tuple of them (the sweep
+    axis); validates engine names against the simbackend registry so bad
+    specs fail at construction time, not mid-sweep.
+    """
+    entries = backend if isinstance(backend, (list, tuple)) else [backend]
+    if not entries:
+        entries = [None]
+    specs = [normalize_backend(entry) for entry in entries]
+    unknown = [s["name"] for s in specs if s["name"] not in BACKENDS]
+    if unknown:
+        raise ValueError(
+            f"unknown simulation backends {unknown}; "
+            f"choose from {sorted(BACKENDS)}"
+        )
+    for spec in specs:
+        # Instantiate once so bad parameters surface here (ValueError),
+        # not as a crashed worker halfway through a sweep.
+        build_backend(spec)
+    return tuple(specs)
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """A declarative experiment scenario.
@@ -117,6 +142,10 @@ class ScenarioSpec:
             model name, a ``{"model", "params"}`` spec, or a list of
             either to sweep. Normalized to a tuple of canonical spec
             dicts; defaults to the clean ``reliable`` channel.
+        backend: simulation backend(s) to cross the scenario with — an
+            engine name, a ``{"name", "params"}`` spec, or a list of
+            either to sweep. Normalized like the network axis; defaults
+            to the ``reference`` engine.
         seeds: number of independent repetitions per grid point.
         exact: whether to also compute the exact optimum (exponential
             time — keep instances small) and record the ratio.
@@ -129,6 +158,7 @@ class ScenarioSpec:
     grid: Mapping[str, Any] = field(default_factory=dict)
     algo_grid: Mapping[str, Any] = field(default_factory=dict)
     network: Any = "reliable"
+    backend: Any = "reference"
     seeds: int = 3
     exact: bool = False
     description: str = ""
@@ -153,11 +183,19 @@ class ScenarioSpec:
         object.__setattr__(
             self, "network", normalize_networks(self.network)
         )
+        object.__setattr__(
+            self, "backend", normalize_backends(self.backend)
+        )
 
     @property
     def network_names(self) -> Tuple[str, ...]:
         """The model names of the scenario's network axis (for ``--list``)."""
         return tuple(spec["model"] for spec in self.network)
+
+    @property
+    def backend_names(self) -> Tuple[str, ...]:
+        """The engine names of the scenario's backend axis (for ``--list``)."""
+        return tuple(spec["name"] for spec in self.backend)
 
     # -- (de)serialization for spec files and hashing --------------------
 
@@ -171,6 +209,10 @@ class ScenarioSpec:
             "network": [
                 {"model": spec["model"], "params": dict(spec["params"])}
                 for spec in self.network
+            ],
+            "backend": [
+                {"name": spec["name"], "params": dict(spec["params"])}
+                for spec in self.backend
             ],
             "seeds": self.seeds,
             "exact": self.exact,
@@ -186,6 +228,7 @@ class ScenarioSpec:
             grid=dict(data.get("grid", {})),
             algo_grid=dict(data.get("algo_grid", {})),
             network=data.get("network", "reliable"),
+            backend=data.get("backend", "reference"),
             seeds=int(data.get("seeds", 3)),
             exact=bool(data.get("exact", False)),
             description=str(data.get("description", "")),

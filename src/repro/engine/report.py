@@ -28,7 +28,9 @@ def render_report(records: List[Mapping[str, Any]]) -> str:
 
     When a scenario's records span more than one network condition (or
     any adverse one), the table grows a ``network`` column so the
-    conditions read side by side.
+    conditions read side by side; likewise a ``backend`` column appears
+    when records span more than one execution engine (or any
+    non-reference one).
     """
     if not records:
         return "no records"
@@ -37,6 +39,8 @@ def render_report(records: List[Mapping[str, Any]]) -> str:
         aggregates = aggregate_records(group)
         networks = {agg.network for agg in aggregates}
         show_network = networks != {"reliable"}
+        backends = {agg.backend for agg in aggregates}
+        show_backend = backends != {"reference"}
         rows = []
         for agg in aggregates:
             row = [
@@ -47,12 +51,16 @@ def render_report(records: List[Mapping[str, Any]]) -> str:
                 _fmt(agg.max_ratio, ".3f"),
                 _fmt(agg.total_wall_time, ".3f"),
             ]
+            if show_backend:
+                row.insert(1, agg.backend)
             if show_network:
                 row.insert(1, agg.network)
             rows.append(tuple(row))
         header = [
             "algorithm", "jobs", "mean W", "mean rounds", "max ratio", "wall s",
         ]
+        if show_backend:
+            header.insert(1, "backend")
         if show_network:
             header.insert(1, "network")
         table = format_table(tuple(header), rows)

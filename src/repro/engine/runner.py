@@ -6,11 +6,13 @@ job rebuilds its instance from the registry by name and its derived seeds,
 making every record exactly reproducible from its stored configuration.
 """
 
+import os
 import random
+import sys
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.engine.algorithms import ALGORITHMS
 from repro.engine.jobs import Job, expand_jobs
@@ -39,7 +41,18 @@ def build_instance(job: Job) -> SteinerForestInstance:
 
 
 def execute_job(job_dict: Mapping[str, Any]) -> Dict[str, Any]:
-    """Run one job (worker entry point); returns its JSON-able record."""
+    """Run one job (worker entry point); returns its JSON-able record.
+
+    The registered solvers are ledger-level (they charge a
+    :class:`~repro.congest.run.CongestRun` directly), so — exactly like
+    the network axis, which only surfaces as ``emulated_rounds`` for
+    them — the job's ``backend`` does not change their computation. The
+    axis exists so message-level executions (node-program scenarios,
+    conformance suites, benchmarks) and future simulator-driven
+    algorithms are cached and reported per engine; sweeping backends
+    over purely ledger-level algorithms just re-runs identical work
+    under distinct cache keys.
+    """
     job = Job.from_dict(job_dict)
     instance = build_instance(job)
     algorithm = ALGORITHMS[job.algorithm]
@@ -91,26 +104,72 @@ def execute_job(job_dict: Mapping[str, Any]) -> Dict[str, Any]:
     record["key"] = job.key
     record["schema"] = SCHEMA_VERSION
     # Explicit display/grouping fields: identity() omits the default
-    # network (cache-key stability), records never do.
+    # network and backend (cache-key stability), records never do.
     record["network"] = {
         "model": network_model.name,
         "params": dict(job.network["params"]),
     }
     record["network_model"] = network_model.name
+    record["backend"] = {
+        "name": job.backend["name"],
+        "params": dict(job.backend["params"]),
+    }
+    record["backend_name"] = job.backend["name"]
     record["metrics"] = metrics
     return record
+
+
+#: Progress sink: called with one human-readable line per event.
+ProgressLog = Optional[Callable[[str], None]]
+
+
+def stderr_log(message: str) -> None:
+    """The default CLI progress sink (long sweeps aren't silent)."""
+    print(message, file=sys.stderr, flush=True)
 
 
 def _run_jobs(
     jobs: List[Job],
     max_workers: Optional[int],
     parallel: bool,
+    log: ProgressLog = None,
+    scenario: str = "",
 ) -> List[Dict[str, Any]]:
     payloads = [job.to_dict() for job in jobs]
+    total = len(payloads)
+
+    def note(done: int, record: Dict[str, Any]) -> None:
+        if log is not None:
+            wall = record["metrics"].get("wall_time", 0.0)
+            log(
+                f"[{scenario}] job {done}/{total} done: "
+                f"{record['algorithm']} ({wall:.3f}s)"
+            )
+
     if not parallel or len(jobs) <= 1:
-        return [execute_job(payload) for payload in payloads]
+        records = []
+        for payload in payloads:
+            record = execute_job(payload)
+            records.append(record)
+            note(len(records), record)
+        return records
+    if max_workers is None:
+        # Saturate the machine by default; sweeps are embarrassingly
+        # parallel and jobs are independent.
+        max_workers = os.cpu_count() or 1
+    results: List[Optional[Dict[str, Any]]] = [None] * total
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(execute_job, payloads))
+        futures = {
+            pool.submit(execute_job, payload): index
+            for index, payload in enumerate(payloads)
+        }
+        done = 0
+        for future in as_completed(futures):
+            index = futures[future]
+            results[index] = future.result()
+            done += 1
+            note(done, results[index])
+    return results
 
 
 @dataclass
@@ -136,16 +195,30 @@ def run_spec(
     store: Optional[ResultStore] = None,
     max_workers: Optional[int] = None,
     parallel: bool = True,
+    log: ProgressLog = None,
 ) -> SweepStats:
     """Expand ``spec``, skip rows already in ``store``, run the rest.
 
     Without a store everything executes and nothing persists (useful for
-    benchmarks that only want the records).
+    benchmarks that only want the records). ``log`` receives one line per
+    progress event (cache summary, per-job completion); pass
+    :func:`stderr_log` for CLI-style output, None for silence.
     """
     jobs = expand_jobs(spec)
     cached_keys = store.keys() if store is not None else set()
     pending = [job for job in jobs if job.key not in cached_keys]
-    fresh = _run_jobs(pending, max_workers=max_workers, parallel=parallel)
+    if log is not None:
+        log(
+            f"[{spec.name}] {len(jobs)} jobs: "
+            f"{len(jobs) - len(pending)} cache hits, {len(pending)} to run"
+        )
+    fresh = _run_jobs(
+        pending,
+        max_workers=max_workers,
+        parallel=parallel,
+        log=log,
+        scenario=spec.name,
+    )
     if store is not None and fresh:
         store.append(fresh)
 
@@ -168,9 +241,16 @@ def run_suite(
     store: Optional[ResultStore] = None,
     max_workers: Optional[int] = None,
     parallel: bool = True,
+    log: ProgressLog = None,
 ) -> List[SweepStats]:
     """Run several specs against one store; returns per-spec stats."""
     return [
-        run_spec(spec, store=store, max_workers=max_workers, parallel=parallel)
+        run_spec(
+            spec,
+            store=store,
+            max_workers=max_workers,
+            parallel=parallel,
+            log=log,
+        )
         for spec in specs
     ]

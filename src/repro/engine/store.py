@@ -21,12 +21,16 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
 #: v1: no network condition. v2: records carry ``network`` (canonical
 #: spec dict) and ``network_model`` (model name, the grouping field).
-#: v1 rows read back as the clean ``reliable`` channel — their cache
-#: keys are unchanged (default-network jobs hash identically), so old
+#: v3: records additionally carry ``backend`` (canonical spec dict) and
+#: ``backend_name`` (engine name, the grouping field). Old rows read
+#: back with the defaults filled in — v1 as the clean ``reliable``
+#: channel, v1/v2 as the ``reference`` engine — and their cache keys are
+#: unchanged (default-network/-backend jobs hash identically), so old
 #: stores keep absorbing re-runs.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 _RELIABLE = {"model": "reliable", "params": {}}
+_REFERENCE = {"name": "reference", "params": {}}
 
 
 def _upgrade(row: Dict[str, Any]) -> Dict[str, Any]:
@@ -35,6 +39,10 @@ def _upgrade(row: Dict[str, Any]) -> Dict[str, Any]:
         row["network"] = dict(_RELIABLE, params={})
     if "network_model" not in row:
         row["network_model"] = row["network"].get("model", "reliable")
+    if "backend" not in row:
+        row["backend"] = dict(_REFERENCE, params={})
+    if "backend_name" not in row:
+        row["backend_name"] = row["backend"].get("name", "reference")
     return row
 
 
@@ -72,15 +80,18 @@ class ResultStore:
         scenario: Optional[str] = None,
         keys: Optional[Iterable[str]] = None,
         network: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
-        """Records filtered by scenario, network model name, and/or an
-        explicit key set."""
+        """Records filtered by scenario, network model name, backend
+        engine name, and/or an explicit key set."""
         wanted = set(keys) if keys is not None else None
         out = []
         for record in self._load():
             if scenario is not None and record.get("scenario") != scenario:
                 continue
             if network is not None and record.get("network_model") != network:
+                continue
+            if backend is not None and record.get("backend_name") != backend:
                 continue
             if wanted is not None and record["key"] not in wanted:
                 continue

@@ -1,0 +1,52 @@
+"""Simulation backends: pluggable execution engines for the simulator.
+
+The :class:`~repro.congest.simulator.Simulator` front-end stays stable
+while the engine that turns the crank is swappable:
+
+* :mod:`repro.simbackend.base` — the :class:`SimulationBackend`
+  interface (message queues, network-model routing, quiescence/halt
+  detection), canonical spec normalization, and the shared
+  :class:`Context` node view.
+* :mod:`repro.simbackend.reference` — the original per-node-object
+  loop, byte-identical and regression-pinned.
+* :mod:`repro.simbackend.flatarray` — a batched fast path over a
+  compiled CSR-style integer-indexed topology (no per-round dict churn
+  or node-object hashing on the hot path).
+* :mod:`repro.simbackend.sharded` — a multiprocess engine that
+  partitions nodes across worker processes with per-round batched IPC,
+  so one large instance uses many cores.
+
+The experiment engine threads canonical backend specs through scenario
+definitions and job identities exactly like network conditions: the
+default ``reference`` backend is omitted from cache keys (existing
+stores keep absorbing re-runs), and every other engine hashes to its
+own key.
+"""
+
+from repro.simbackend.base import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    Context,
+    SimulationBackend,
+    build_backend,
+    is_default_backend,
+    normalize_backend,
+    register_backend,
+)
+from repro.simbackend.flatarray import FlatArrayBackend
+from repro.simbackend.reference import ReferenceBackend
+from repro.simbackend.sharded import ShardedBackend
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "Context",
+    "SimulationBackend",
+    "build_backend",
+    "is_default_backend",
+    "normalize_backend",
+    "register_backend",
+    "FlatArrayBackend",
+    "ReferenceBackend",
+    "ShardedBackend",
+]

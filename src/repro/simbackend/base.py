@@ -1,0 +1,311 @@
+"""The simulation-backend interface: who owns the round loop.
+
+The CONGEST :class:`~repro.congest.simulator.Simulator` is a thin facade;
+the actual execution engine — message queues, network-model routing,
+quiescence and halt detection — is a :class:`SimulationBackend`. Backends
+are swappable implementations of one contract: given a graph, one
+:class:`~repro.congest.simulator.NodeProgram` per node, a shared
+:class:`~repro.congest.run.CongestRun` ledger, a bound
+:class:`~repro.netmodel.NetworkModel`, and an optional
+:class:`~repro.netmodel.TraceRecorder`, produce the *same* execution —
+identical rounds, ledger traffic, trace events, and final program states —
+while being free to choose the data layout and process topology that
+computes it.
+
+Like network conditions, backends are hashable experiment input: a
+backend is identified by a canonical ``{"name", "params"}`` spec dict
+(:func:`normalize_backend`), and the engine omits the default
+``reference`` backend from job identities so existing result-store cache
+keys are unchanged.
+
+The network-model delivery hooks (``begin_round`` / ``schedule`` /
+``alive``) are backend-agnostic by construction: every backend calls them
+through the same :class:`~repro.netmodel.NetworkModel` interface, in the
+same canonical message order, so one model implementation serves every
+execution engine.
+"""
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import CongestViolationError, SimulationError
+from repro.model.graph import Node, WeightedGraph
+from repro.netmodel import NetworkModel, TraceRecorder
+
+# NOTE: this package must not import repro.congest at module scope —
+# repro.congest.simulator imports the backends, and the ledger type
+# (CongestRun) is only passed through, so ``Any``-typed hooks suffice.
+
+#: The canonical spec of the default execution engine.
+DEFAULT_BACKEND: Dict[str, Any] = {"name": "reference", "params": {}}
+
+#: Anything :func:`normalize_backend` accepts.
+BackendLike = Union[None, str, Mapping[str, Any], "SimulationBackend"]
+
+
+class Context:
+    """Per-node view handed to a NodeProgram each round.
+
+    ``_simulator`` is the owning :class:`SimulationBackend` (historically
+    the simulator itself); backends may subclass Context to specialize the
+    send/halt hot path, but the NodeProgram-facing surface is fixed.
+    """
+
+    def __init__(self, simulator: "SimulationBackend", node: Node) -> None:
+        self._simulator = simulator
+        self.node_id = node
+        self.neighbors = simulator.graph.neighbors(node)
+        self.round = 0
+
+    def edge_weight(self, neighbor: Node) -> int:
+        """Weight of the incident edge to ``neighbor``."""
+        return self._simulator.graph.weight(self.node_id, neighbor)
+
+    def send(self, neighbor: Node, payload: Any) -> None:
+        """Queue one message for delivery next round (≤ 1 per neighbor)."""
+        self._simulator._queue_message(self.node_id, neighbor, payload)
+
+    def halt(self) -> None:
+        """Mark this node as explicitly terminated (Section 2's notion of
+        termination; a halted node no longer receives on_round calls)."""
+        self._simulator._halt(self.node_id)
+
+
+class SimulationBackend:
+    """Base class for execution engines behind the simulator facade.
+
+    Lifecycle: construct (with engine parameters only), then
+    :meth:`bind` once per execution, then :meth:`start` / :meth:`step`
+    or :meth:`run_to_completion`. :meth:`close` releases any resources a
+    backend holds (worker processes); it is idempotent and called
+    automatically by :meth:`run_to_completion`.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.graph: Optional[WeightedGraph] = None
+        self.programs: Dict[Node, Any] = {}
+        self.run: Any = None
+        self.network: Optional[NetworkModel] = None
+        self.trace: Optional[TraceRecorder] = None
+        self.round = 0
+
+    # -- identity --------------------------------------------------------
+
+    def params(self) -> Dict[str, Any]:
+        """JSON-serializable engine configuration (empty when
+        parameter-free)."""
+        return {}
+
+    def spec(self) -> Dict[str, Any]:
+        """The canonical spec dict identifying this backend + parameters."""
+        return {"name": self.name, "params": self.params()}
+
+    # -- lifecycle -------------------------------------------------------
+
+    def bind(
+        self,
+        graph: WeightedGraph,
+        programs: Dict[Node, Any],
+        run: Any,
+        network: NetworkModel,
+        trace: Optional[TraceRecorder],
+    ) -> None:
+        """Attach to one execution (called by the Simulator facade)."""
+        self.graph = graph
+        self.programs = programs
+        self.run = run
+        self.network = network
+        self.trace = trace
+        self.round = 0
+
+    def close(self) -> None:
+        """Release backend resources (worker processes, buffers)."""
+
+    # -- execution contract ----------------------------------------------
+
+    @property
+    def all_halted(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def has_pending(self) -> bool:
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Run every program's on_start (round 0, local only)."""
+        raise NotImplementedError
+
+    def step(self) -> bool:
+        """Execute one synchronous round; returns False when quiescent."""
+        raise NotImplementedError
+
+    def run_to_completion(self, max_rounds: int = 100_000) -> int:
+        """start() + step() until quiescence; returns rounds executed.
+
+        ``max_rounds`` is inclusive: quiescing in exactly ``max_rounds``
+        rounds succeeds, and :class:`SimulationError` is raised as soon as
+        the limit is reached with work still pending (never executing a
+        ``max_rounds + 1``-th round).
+        """
+        self.start()
+        rounds = 0
+        try:
+            while self.has_pending and not self.all_halted:
+                if rounds >= max_rounds:
+                    raise SimulationError(
+                        f"node programs did not quiesce in {max_rounds} rounds"
+                    )
+                self.step()
+                rounds += 1
+        except BaseException:
+            # Best-effort cleanup; the original error is what matters.
+            try:
+                self.close()
+            except Exception:
+                pass
+            raise
+        # On success close() must not be silenced: a sharded engine that
+        # cannot sync final program states back has to fail loudly, not
+        # return a round count with stale caller-side state.
+        self.close()
+        return rounds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params().items()))
+        return f"{type(self).__name__}({params})"
+
+
+#: Registered backend classes by canonical name (populated on import of
+#: the implementation modules; see :func:`register_backend`).
+BACKENDS: Dict[str, type] = {}
+
+
+def register_backend(cls: type) -> type:
+    """Class decorator adding a backend to the :data:`BACKENDS` registry."""
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def normalize_backend(backend: BackendLike) -> Dict[str, Any]:
+    """Turn user shorthand into one canonical ``{"name", "params"}`` dict.
+
+    Accepts ``None`` (the default reference engine), a backend name
+    string, a mapping with ``name`` and optional ``params`` keys, or a
+    constructed :class:`SimulationBackend`. The result is
+    JSON-round-trippable with deterministic content, so it is safe to
+    hash into job identities.
+    """
+    if backend is None:
+        return dict(DEFAULT_BACKEND, params={})
+    if isinstance(backend, SimulationBackend):
+        return backend.spec()
+    if isinstance(backend, str):
+        return {"name": backend, "params": {}}
+    if isinstance(backend, Mapping):
+        unknown = set(backend) - {"name", "params"}
+        if unknown:
+            raise ValueError(
+                f"unexpected backend spec keys {sorted(unknown)}; "
+                'expected {"name": name, "params": {...}}'
+            )
+        return {
+            "name": str(backend.get("name", DEFAULT_BACKEND["name"])),
+            "params": dict(backend.get("params", {})),
+        }
+    raise TypeError(f"cannot interpret backend spec {backend!r}")
+
+
+def is_default_backend(backend: BackendLike) -> bool:
+    """Whether ``backend`` denotes the default reference engine."""
+    spec = normalize_backend(backend)
+    return spec["name"] == DEFAULT_BACKEND["name"] and not spec["params"]
+
+
+def build_backend(backend: BackendLike = None) -> "SimulationBackend":
+    """Instantiate a backend from anything :func:`normalize_backend`
+    accepts.
+
+    A constructed :class:`SimulationBackend` passes through unchanged, so
+    callers can hand the simulator a pre-configured engine.
+    """
+    if isinstance(backend, SimulationBackend):
+        return backend
+    import repro.simbackend  # noqa: F401 — populate the registry
+
+    spec = normalize_backend(backend)
+    try:
+        cls = BACKENDS[spec["name"]]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulation backend {spec['name']!r}; "
+            f"choose from {sorted(BACKENDS)}"
+        ) from None
+    try:
+        return cls(**spec["params"])
+    except TypeError as exc:
+        raise ValueError(
+            f"bad parameters for simulation backend {spec['name']!r}: {exc}"
+        ) from None
+
+
+def backend_sort_pairs(
+    items: Mapping[Tuple[Node, Node], Any]
+) -> List[Tuple[Tuple[Node, Node], Any]]:
+    """Outbox entries in canonical flush order (shared by backends).
+
+    Deterministic order must depend on the (sender, receiver) key only,
+    never on the payload — and on a type-stable total order, never on
+    ``repr`` (under which ``repr(9) > repr(10)``).
+    """
+    from repro.netmodel import node_sort_key
+
+    return sorted(
+        items.items(),
+        key=lambda item: (node_sort_key(item[0][0]), node_sort_key(item[0][1])),
+    )
+
+
+def queue_outbox_message(
+    graph: WeightedGraph,
+    outbox: Dict[Tuple[Node, Node], Any],
+    sender: Node,
+    receiver: Node,
+    payload: Any,
+) -> None:
+    """The shared CONGEST send validation: one message per neighbor per
+    round, edges only. Used by every dict-outbox engine (reference and
+    the sharded workers) so the contract and error wording cannot
+    diverge; the flatarray engine enforces the same checks (and strings)
+    on its integer-indexed path."""
+    if not graph.has_edge(sender, receiver):
+        raise CongestViolationError(
+            f"{sender!r} cannot reach non-neighbor {receiver!r}"
+        )
+    key = (sender, receiver)
+    if key in outbox:
+        raise CongestViolationError(
+            f"{sender!r} already sent to {receiver!r} this round"
+        )
+    outbox[key] = payload
+
+
+def copy_program_state(local: Any, remote: Any) -> None:
+    """Copy a program's final state from ``remote`` onto ``local`` in
+    place (the sharded engine's sync-back): dict attributes plus any
+    ``__slots__`` attributes anywhere in the MRO."""
+    if hasattr(local, "__dict__"):
+        local.__dict__.clear()
+        local.__dict__.update(getattr(remote, "__dict__", {}))
+    for cls in type(remote).__mro__:
+        for name in getattr(cls, "__slots__", ()) or ():
+            if name in ("__dict__", "__weakref__"):
+                continue
+            try:
+                setattr(local, name, getattr(remote, name))
+            except AttributeError:
+                # Never assigned in the worker: clear locally too.
+                try:
+                    delattr(local, name)
+                except AttributeError:
+                    pass

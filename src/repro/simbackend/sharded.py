@@ -1,0 +1,290 @@
+"""The sharded execution engine: one instance across many processes.
+
+Where the experiment runner (PR 1) parallelizes *across jobs*, this
+engine parallelizes *within one simulation*: the node set is partitioned
+into contiguous shards, each owned by a worker process that runs its
+nodes' ``on_start`` / ``on_round`` callbacks, while the parent keeps
+everything that must be globally ordered — the message flush, network
+model (RNG, crashes, delays), ledger, trace, and quiescence detection.
+
+Per round, the parent exchanges exactly one batched IPC message pair per
+shard: it sends the shard's inbox batch (plus the currently crashed node
+set) and receives the shard's outbox batch plus newly halted nodes. All
+ordering decisions stay in the parent — merged outboxes flush in the same
+canonical ``node_sort_key`` order as the reference engine — so the
+execution is deterministic and conformant even though node callbacks run
+concurrently.
+
+Node programs live in the workers; when the run quiesces (or the backend
+is closed) the final program states are collected and written back into
+the caller's program objects, so ``programs[v].leader``-style inspection
+works unchanged. Programs and payloads must be picklable.
+"""
+
+import multiprocessing
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import SimulationError
+from repro.model.graph import Node, WeightedGraph
+from repro.netmodel import NetworkModel, TraceRecorder
+from repro.simbackend.base import (
+    Context,
+    copy_program_state,
+    queue_outbox_message,
+    register_backend,
+)
+from repro.simbackend.reference import ReferenceBackend
+
+
+class _WorkerShard:
+    """Worker-process state: the owned nodes, their programs/contexts,
+    and the per-command outbox (validated exactly like the reference)."""
+
+    def __init__(self, graph: WeightedGraph, programs: Dict[Node, Any]) -> None:
+        self.graph = graph
+        self.programs = programs
+        self.nodes = [v for v in graph.nodes if v in programs]
+        self.contexts = {v: Context(self, v) for v in self.nodes}
+        self.outbox: Dict[Tuple[Node, Node], Any] = {}
+        self.halted: set = set()
+        self.new_halted: List[Node] = []
+
+    # Context hooks (same contract and messages as the reference engine).
+
+    def _queue_message(self, sender: Node, receiver: Node, payload: Any) -> None:
+        queue_outbox_message(self.graph, self.outbox, sender, receiver, payload)
+
+    def _halt(self, node: Node) -> None:
+        if node not in self.halted:
+            self.halted.add(node)
+            self.new_halted.append(node)
+
+    # Command handlers.
+
+    def run_start(self) -> None:
+        for v in self.nodes:
+            self.programs[v].on_start(self.contexts[v])
+
+    def run_round(
+        self,
+        round_index: int,
+        inboxes: Dict[Node, List[Tuple[Node, Any]]],
+        dead: set,
+    ) -> None:
+        for v in self.nodes:
+            if v in self.halted or v in dead:
+                continue
+            ctx = self.contexts[v]
+            ctx.round = round_index
+            self.programs[v].on_round(ctx, inboxes.get(v, []))
+
+    def take_output(self) -> Tuple[List[Tuple[Tuple[Node, Node], Any]], List[Node]]:
+        items = list(self.outbox.items())
+        self.outbox = {}
+        new_halted, self.new_halted = self.new_halted, []
+        return items, new_halted
+
+
+def _shard_worker(conn, graph: WeightedGraph, programs: Dict[Node, Any]) -> None:
+    """Worker entry point: serve start/round/collect commands over a pipe."""
+    shard = _WorkerShard(graph, programs)
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "stop":
+                break
+            try:
+                if command == "collect":
+                    conn.send(("state", shard.programs))
+                    continue
+                if command == "start":
+                    shard.run_start()
+                else:  # "round"
+                    shard.run_round(message[1], message[2], message[3])
+                outbox, new_halted = shard.take_output()
+                conn.send(("ok", outbox, new_halted))
+            except Exception as exc:  # propagate to the parent
+                try:
+                    conn.send(("error", exc))
+                except Exception:
+                    conn.send(("error", SimulationError(repr(exc))))
+    except (EOFError, KeyboardInterrupt):
+        pass
+    finally:
+        conn.close()
+
+
+@register_backend
+class ShardedBackend(ReferenceBackend):
+    """Multiprocess executor: per-shard node callbacks, central routing.
+
+    Args:
+        num_shards: worker process count; ``None`` uses ``os.cpu_count()``.
+            Clamped to the node count at bind time.
+    """
+
+    name = "sharded"
+
+    def __init__(self, num_shards: Optional[int] = None) -> None:
+        super().__init__()
+        if num_shards is not None and num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self._procs: List[multiprocessing.Process] = []
+        self._conns: List[Any] = []
+        self._owner: Dict[Node, int] = {}
+        self._synced = True
+
+    def params(self) -> Dict[str, Any]:
+        return {"num_shards": self.num_shards}
+
+    def bind(
+        self,
+        graph: WeightedGraph,
+        programs: Dict[Node, Any],
+        run: Any,
+        network: NetworkModel,
+        trace: Optional[TraceRecorder],
+    ) -> None:
+        # Rebinding a reused backend instance must not orphan a previous
+        # execution's worker pool (close also syncs its final states).
+        self.close()
+        super().bind(graph, programs, run, network, trace)
+        self._procs = []
+        self._conns = []
+        self._owner = {}
+        self._synced = True
+
+    # -- worker pool -----------------------------------------------------
+
+    def _ensure_workers(self) -> None:
+        if self._conns:
+            return
+        nodes = self.graph.nodes
+        shards = self.num_shards or os.cpu_count() or 1
+        shards = max(1, min(shards, len(nodes)))
+        chunk = (len(nodes) + shards - 1) // shards
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        for shard_index in range(shards):
+            owned = nodes[shard_index * chunk: (shard_index + 1) * chunk]
+            if not owned:
+                continue
+            for v in owned:
+                self._owner[v] = len(self._conns)
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, self.graph, {v: self.programs[v] for v in owned}),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _gather(self) -> List[Any]:
+        """Receive one reply per shard; raise the first reported error."""
+        replies = []
+        for conn in self._conns:
+            try:
+                replies.append(conn.recv())
+            except EOFError:
+                raise SimulationError(
+                    "a shard worker died mid-execution"
+                ) from None
+        errors = [reply[1] for reply in replies if reply[0] == "error"]
+        if errors:
+            raise errors[0]
+        return replies
+
+    def _absorb(self, replies: List[Any]) -> None:
+        """Merge shard outboxes and halt reports into the parent state."""
+        for _, outbox_items, new_halted in replies:
+            for key, payload in outbox_items:
+                self._outbox[key] = payload
+            self._halted.update(new_halted)
+        self._synced = False
+
+    def _sync_programs(self) -> None:
+        """Write final worker program states back into the caller's
+        program objects (dict attributes plus ``__slots__``-declared
+        ones — see :func:`~repro.simbackend.base.copy_program_state`)."""
+        if self._synced or not self._conns:
+            return
+        for conn in self._conns:
+            conn.send(("collect",))
+        for conn in self._conns:
+            try:
+                tag, state = conn.recv()
+            except EOFError:
+                raise SimulationError(
+                    "a shard worker died before its program states could "
+                    "be collected"
+                ) from None
+            if tag == "error":
+                raise state
+            if tag != "state":  # pragma: no cover - protocol guard
+                raise SimulationError(f"unexpected shard reply {tag!r}")
+            for v, remote in state.items():
+                copy_program_state(self.programs[v], remote)
+        self._synced = True
+
+    def close(self) -> None:
+        if not self._conns:
+            return
+        try:
+            # A failed sync must surface (silently stale caller-side
+            # program state is a wrong answer), but never before the
+            # worker pool is torn down.
+            self._sync_programs()
+        finally:
+            for conn in self._conns:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+                conn.close()
+            for proc in self._procs:
+                proc.join(timeout=10)
+                if proc.is_alive():  # pragma: no cover - stuck worker guard
+                    proc.terminate()
+            self._procs = []
+            self._conns = []
+
+    # -- execution -------------------------------------------------------
+
+    def start(self) -> None:
+        self._ensure_workers()
+        for conn in self._conns:
+            conn.send(("start",))
+        self._absorb(self._gather())
+
+    def step(self) -> bool:
+        if not self.has_pending or self.all_halted:
+            # Quiescent: reflect final worker states before reporting done.
+            self._sync_programs()
+            return False
+        return super().step()
+
+    def _dispatch_round(
+        self, inboxes: Dict[Node, List[Tuple[Node, Any]]]
+    ) -> None:
+        """Farm the on_round callbacks out to the shard workers."""
+        dead = set()
+        if self.network.removes_nodes:
+            alive = self.network.alive
+            dead = {v for v in self.graph.nodes if not alive(v)}
+        per_shard: List[Dict[Node, List[Tuple[Node, Any]]]] = [
+            {} for _ in self._conns
+        ]
+        for receiver, inbox in inboxes.items():
+            per_shard[self._owner[receiver]][receiver] = inbox
+        for conn, shard_inboxes in zip(self._conns, per_shard):
+            conn.send(("round", self.round, shard_inboxes, dead))
+        self._absorb(self._gather())

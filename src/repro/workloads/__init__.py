@@ -1,6 +1,7 @@
 """Workload generators for experiments and tests."""
 
 from repro.workloads.generators import (
+    ensure_connected,
     grid_graph,
     grid_instance,
     random_connected_graph,
@@ -11,6 +12,7 @@ from repro.workloads.generators import (
 )
 
 __all__ = [
+    "ensure_connected",
     "grid_graph",
     "random_connected_graph",
     "random_geometric_graph",

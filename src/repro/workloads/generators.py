@@ -16,6 +16,31 @@ from repro.model.graph import WeightedGraph
 from repro.model.instance import SteinerForestInstance, instance_from_components
 
 
+def ensure_connected(graph: "nx.Graph") -> "nx.Graph":
+    """Connectivity fallback shared by the random generators: overlay a
+    Hamiltonian path over the integer node labels when the sampled graph
+    is disconnected.
+
+    The composed graph keeps every sampled edge and node attribute; the
+    caller assigns weights *after* the fallback, so path edges always
+    receive weights through the same code path as sampled edges.
+
+    The overlay only connects graphs whose nodes are labeled 0..n-1 (as
+    every networkx sampler used here produces); anything else would gain
+    fresh phantom nodes instead of connecting the existing ones, so that
+    case raises rather than returning a corrupted graph.
+    """
+    if not nx.is_connected(graph):
+        n = graph.number_of_nodes()
+        if set(graph) != set(range(n)):
+            raise ValueError(
+                "ensure_connected requires integer node labels 0..n-1 "
+                "(relabel with nx.convert_node_labels_to_integers first)"
+            )
+        graph = nx.compose(graph, nx.path_graph(n))
+    return graph
+
+
 def random_connected_graph(
     n: int,
     p: float,
@@ -24,9 +49,9 @@ def random_connected_graph(
 ) -> WeightedGraph:
     """G(n, p) with a Hamiltonian-path fallback for connectivity and
     uniform random integer weights in [1, max_weight]."""
-    graph = nx.gnp_random_graph(n, p, seed=rng.randrange(1 << 30))
-    if not nx.is_connected(graph):
-        graph = nx.compose(graph, nx.path_graph(n))
+    graph = ensure_connected(
+        nx.gnp_random_graph(n, p, seed=rng.randrange(1 << 30))
+    )
     for u, v in graph.edges:
         graph[u][v]["weight"] = rng.randint(1, max_weight)
     return WeightedGraph.from_networkx(graph)
@@ -39,11 +64,9 @@ def random_geometric_graph(
     weight_scale: int = 100,
 ) -> WeightedGraph:
     """Random geometric graph; weights ≈ Euclidean distance (scaled ints)."""
-    graph = nx.random_geometric_graph(
-        n, radius, seed=rng.randrange(1 << 30)
+    graph = ensure_connected(
+        nx.random_geometric_graph(n, radius, seed=rng.randrange(1 << 30))
     )
-    if not nx.is_connected(graph):
-        graph = nx.compose(graph, nx.path_graph(n))
     pos = nx.get_node_attributes(graph, "pos")
     for u, v in graph.edges:
         if u in pos and v in pos:

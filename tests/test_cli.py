@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import main, parse_network_arg
+from repro.cli import main, parse_backend_arg, parse_network_arg
 
 
 class TestSolve:
@@ -193,6 +193,84 @@ class TestNetworkOptions:
         assert "delay" in capsys.readouterr().out
         assert main(["report", "--store", store, "--network", "crash"]) == 0
         assert "no records" in capsys.readouterr().out
+
+
+class TestBackendOptions:
+    def test_parse_name_only(self):
+        assert parse_backend_arg("flatarray") == {
+            "name": "flatarray", "params": {},
+        }
+
+    def test_parse_key_values(self):
+        spec = parse_backend_arg("sharded:num_shards=4")
+        assert spec == {"name": "sharded", "params": {"num_shards": 4}}
+
+    def test_parse_json_object(self):
+        text = '{"name": "sharded", "params": {"num_shards": 2}}'
+        assert parse_backend_arg(text)["params"] == {"num_shards": 2}
+
+    def test_parse_rejects_bare_parameter(self):
+        with pytest.raises(ValueError, match="key=value"):
+            parse_backend_arg("sharded:4")
+
+    def test_parse_rejects_misplaced_json_keys(self):
+        # Parameters nested one level too shallow must error, not
+        # silently run the engine with defaults.
+        with pytest.raises(ValueError, match="unexpected backend spec keys"):
+            parse_backend_arg('{"name": "sharded", "num_shards": 8}')
+        with pytest.raises(ValueError, match="unexpected network spec keys"):
+            parse_network_arg('{"model": "lossy", "drop_p": 0.5}')
+
+    def test_sweep_backend_override_distinct_cache_rows(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        args = [
+            "sweep", "--scenario", "grid-rounds", "--store", store, "--serial",
+            "--backend", "reference",
+            "--backend", "flatarray",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "executed=  16 cached=   0" in out  # 8 base jobs × 2 backends
+        with open(store) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert len({row["key"] for row in rows}) == 16
+        assert {row["backend_name"] for row in rows} == {
+            "reference", "flatarray",
+        }
+
+    def test_invalid_backend_errors(self, capsys):
+        code = main(
+            ["sweep", "--scenario", "grid-rounds", "--no-store",
+             "--backend", "sharded:oops"]
+        )
+        assert code == 2
+        assert "invalid --backend" in capsys.readouterr().err
+
+    def test_unknown_backend_errors(self, capsys):
+        code = main(
+            ["sweep", "--scenario", "grid-rounds", "--no-store",
+             "--backend", "quantum"]
+        )
+        assert code == 2
+        assert "invalid --backend" in capsys.readouterr().err
+
+    def test_report_backend_filter(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        main(["sweep", "--scenario", "grid-rounds", "--store", store,
+              "--serial", "--backend", "flatarray"])
+        capsys.readouterr()
+        assert main(["report", "--store", store, "--backend", "flatarray"]) == 0
+        assert "flatarray" in capsys.readouterr().out
+        assert main(["report", "--store", store, "--backend", "sharded"]) == 0
+        assert "no records" in capsys.readouterr().out
+
+    def test_sweep_emits_progress_to_stderr(self, tmp_path, capsys):
+        store = str(tmp_path / "results.jsonl")
+        assert main(["sweep", "--scenario", "grid-rounds", "--store", store,
+                     "--serial"]) == 0
+        err = capsys.readouterr().err
+        assert "[grid-rounds] 8 jobs: 0 cache hits, 8 to run" in err
+        assert "job 8/8 done" in err
 
 
 class TestReport:

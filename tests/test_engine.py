@@ -336,6 +336,127 @@ class TestNetworkAxis:
         assert by_algo["sublinear"]["weight"] == 18
 
 
+class TestBackendAxis:
+    BACKENDS = [
+        "reference",
+        "flatarray",
+        {"name": "sharded", "params": {"num_shards": 2}},
+    ]
+
+    def test_default_backend_keeps_v2_identity(self):
+        job = expand_jobs(tiny_spec())[0]
+        # Schema-v2 cache keys depended on exactly these fields; the
+        # default reference engine must not perturb them.
+        assert "backend" not in job.identity()
+        assert set(job.identity()) == {
+            "scenario", "family", "family_params", "k", "component_size",
+            "algorithm", "algo_params", "seed_index", "exact",
+        }
+
+    def test_each_backend_gets_its_own_cache_key(self):
+        spec = tiny_spec(backend=self.BACKENDS)
+        jobs = expand_jobs(spec)
+        assert len(jobs) == 3 * len(expand_jobs(tiny_spec()))
+        keys = {job.key for job in jobs}
+        assert len(keys) == len(jobs)
+        assert {job.backend["name"] for job in jobs} == {
+            "reference", "flatarray", "sharded",
+        }
+
+    def test_algorithm_seed_is_backend_independent(self):
+        spec = tiny_spec(backend=self.BACKENDS, algorithms=("moat",))
+        jobs = [j for j in expand_jobs(spec) if j.seed_index == 0][:3]
+        assert len({j.algorithm_seed() for j in jobs}) == 1
+
+    def test_spec_round_trips_with_backend(self):
+        spec = tiny_spec(backend=self.BACKENDS)
+        clone = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.backend_names == ("reference", "flatarray", "sharded")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown simulation backends"):
+            tiny_spec(backend="warp-core")
+
+    def test_bad_backend_params_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="bad parameters"):
+            tiny_spec(backend={"name": "sharded", "params": {"shardz": 2}})
+
+    def test_sweep_crosses_backends_with_distinct_cached_rows(self, tmp_path):
+        spec = tiny_spec(
+            backend=["reference", "flatarray"],
+            algorithms=("distributed",),
+            grid={"n": 8, "p": 0.4, "k": 2, "component_size": 2},
+        )
+        store = ResultStore(tmp_path / "r.jsonl")
+        stats = run_spec(spec, store=store, parallel=False)
+        assert stats.executed == 2
+        assert {r["backend_name"] for r in stats.records} == {
+            "reference", "flatarray",
+        }
+        # The engine axis never changes ledger-level solver results.
+        assert len({r["metrics"]["weight"] for r in stats.records}) == 1
+        again = run_spec(spec, store=store, parallel=False)
+        assert again.executed == 0 and again.cached == 2
+
+    def test_report_grows_backend_column_only_when_non_default(self):
+        spec = tiny_spec(
+            backend=["reference", "flatarray"],
+            algorithms=("distributed",),
+            grid={"n": 8, "p": 0.4, "k": 2, "component_size": 2},
+        )
+        multi = render_report(run_spec(spec, parallel=False).records)
+        assert "backend" in multi and "flatarray" in multi
+        clean = render_report(run_spec(tiny_spec(), parallel=False).records)
+        assert "backend" not in clean
+
+
+class TestRunnerProgress:
+    def test_progress_lines_emitted(self, tmp_path):
+        spec = tiny_spec(algorithms=("moat",), seeds=1)
+        store = ResultStore(tmp_path / "r.jsonl")
+        lines = []
+        stats = run_spec(spec, store=store, parallel=False, log=lines.append)
+        assert stats.executed == 2
+        # One header line plus one completion line per executed job.
+        assert lines[0] == "[tiny] 2 jobs: 0 cache hits, 2 to run"
+        assert lines[1].startswith("[tiny] job 1/2 done: moat")
+        assert lines[2].startswith("[tiny] job 2/2 done: moat")
+
+    def test_progress_reports_cache_hits(self, tmp_path):
+        spec = tiny_spec(algorithms=("moat",), seeds=1)
+        store = ResultStore(tmp_path / "r.jsonl")
+        run_spec(spec, store=store, parallel=False)
+        lines = []
+        run_spec(spec, store=store, parallel=False, log=lines.append)
+        assert lines == ["[tiny] 2 jobs: 2 cache hits, 0 to run"]
+
+    def test_silent_by_default(self, capsys, tmp_path):
+        run_spec(
+            tiny_spec(algorithms=("moat",), seeds=1),
+            store=ResultStore(tmp_path / "r.jsonl"),
+            parallel=False,
+        )
+        assert capsys.readouterr().err == ""
+
+    def test_parallel_defaults_to_cpu_count_workers(self, tmp_path):
+        # max_workers=None must resolve to os.cpu_count() (not the
+        # executor's own default); observable as a successful parallel
+        # run with progress for every job.
+        lines = []
+        spec = tiny_spec(algorithms=("moat",), seeds=1)
+        stats = run_spec(
+            spec,
+            store=ResultStore(tmp_path / "r.jsonl"),
+            parallel=True,
+            max_workers=None,
+            log=lines.append,
+        )
+        assert stats.executed == 2
+        done_lines = [line for line in lines if "done:" in line]
+        assert len(done_lines) == 2
+
+
 class TestStoreSchemaMigration:
     V1_ROW = {
         "key": "v1-row",
@@ -352,6 +473,31 @@ class TestStoreSchemaMigration:
         (row,) = store.records()
         assert row["network"] == {"model": "reliable", "params": {}}
         assert row["network_model"] == "reliable"
+
+    def test_pre_v3_rows_read_as_reference_backend(self, tmp_path):
+        # v1 and v2 rows predate the backend axis: both read back as the
+        # reference engine, and the backend filter sees them.
+        v2_row = dict(
+            self.V1_ROW,
+            key="v2-row",
+            schema=2,
+            network={"model": "lossy", "params": {"drop_p": 0.1}},
+            network_model="lossy",
+        )
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            json.dumps(self.V1_ROW) + "\n" + json.dumps(v2_row) + "\n"
+        )
+        store = ResultStore(path)
+        rows = list(store.records())
+        assert all(
+            r["backend"] == {"name": "reference", "params": {}} for r in rows
+        )
+        assert all(r["backend_name"] == "reference" for r in rows)
+        assert {r["key"] for r in store.select(backend="reference")} == {
+            "v1-row", "v2-row",
+        }
+        assert store.select(backend="flatarray") == []
 
     def test_mixed_version_round_trip(self, tmp_path):
         path = tmp_path / "mixed.jsonl"
@@ -374,8 +520,8 @@ class TestStoreSchemaMigration:
         assert [r["network_model"] for r in reread.records()] == [
             "reliable", "lossy",
         ]
-        # v2 appends are stamped with the bumped schema version.
-        assert [r["schema"] for r in reread.records()] == [1, 2]
+        # Unstamped appends get the current (bumped) schema version.
+        assert [r["schema"] for r in reread.records()] == [1, 3]
         assert [r["key"] for r in reread.select(network="lossy")] == ["v2-row"]
         assert [r["key"] for r in reread.select(network="reliable")] == [
             "v1-row"

@@ -1,0 +1,264 @@
+"""Tests for the simulation-backend subsystem (repro.simbackend)."""
+
+import json
+
+import pytest
+
+from repro.congest.simulator import (
+    EchoBroadcast,
+    FloodMaxLeaderElection,
+    NodeProgram,
+    Simulator,
+)
+from repro.exceptions import CongestViolationError, SimulationError
+from repro.simbackend import (
+    BACKENDS,
+    FlatArrayBackend,
+    ShardedBackend,
+    SimulationBackend,
+    build_backend,
+    is_default_backend,
+    normalize_backend,
+)
+
+ALL_BACKENDS = sorted(BACKENDS)
+
+
+class TestSpecNormalization:
+    def test_none_and_name_and_dict(self):
+        assert normalize_backend(None) == {"name": "reference", "params": {}}
+        assert normalize_backend("flatarray") == {
+            "name": "flatarray", "params": {},
+        }
+        spec = normalize_backend(
+            {"name": "sharded", "params": {"num_shards": 2}}
+        )
+        assert spec == {"name": "sharded", "params": {"num_shards": 2}}
+
+    def test_backend_instance_round_trips(self):
+        backend = ShardedBackend(num_shards=3)
+        spec = normalize_backend(backend)
+        clone = build_backend(json.loads(json.dumps(spec)))
+        assert isinstance(clone, ShardedBackend)
+        assert clone.num_shards == 3
+
+    def test_default_detection(self):
+        assert is_default_backend(None)
+        assert is_default_backend("reference")
+        assert not is_default_backend("flatarray")
+        assert not is_default_backend(
+            {"name": "reference", "params": {"x": 1}}
+        )
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ValueError, match="unexpected backend spec keys"):
+            normalize_backend({"name": "flatarray", "oops": 1})
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            build_backend("quantum")
+        with pytest.raises(ValueError, match="bad parameters"):
+            build_backend({"name": "sharded", "params": {"nope": 1}})
+        with pytest.raises(TypeError):
+            normalize_backend(42)
+
+    def test_registry_covers_all_builtins(self):
+        assert set(BACKENDS) == {"reference", "flatarray", "sharded"}
+        for name, cls in BACKENDS.items():
+            assert issubclass(cls, SimulationBackend)
+            assert cls.name == name
+
+    def test_instance_passes_through_build(self):
+        backend = FlatArrayBackend()
+        assert build_backend(backend) is backend
+
+    def test_sharded_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedBackend(num_shards=0)
+
+
+class TestFacadeDelegation:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_simulator_exposes_backend(self, path5, backend):
+        programs = {v: FloodMaxLeaderElection() for v in path5.nodes}
+        sim = Simulator(path5, programs, backend=backend)
+        assert sim.backend.name == backend
+        assert sim.round == 0
+        rounds = sim.run_to_completion()
+        assert sim.round == rounds
+        assert sim.all_halted or not sim.has_pending
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_violations_surface_through_any_backend(self, path5, backend):
+        class Bad(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(4, "x")
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        sim = Simulator(
+            path5, {v: Bad() for v in path5.nodes}, backend=backend
+        )
+        with pytest.raises(CongestViolationError, match="non-neighbor"):
+            try:
+                sim.run_to_completion()
+            finally:
+                sim.close()
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_double_send_rejected(self, path5, backend):
+        class Chatty(NodeProgram):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(1, "a")
+                    ctx.send(1, "b")
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        sim = Simulator(
+            path5, {v: Chatty() for v in path5.nodes}, backend=backend
+        )
+        with pytest.raises(CongestViolationError, match="already sent"):
+            try:
+                sim.run_to_completion()
+            finally:
+                sim.close()
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_max_rounds_guard(self, path5, backend):
+        class Forever(NodeProgram):
+            def on_start(self, ctx):
+                for v in ctx.neighbors:
+                    ctx.send(v, "ping")
+
+            def on_round(self, ctx, inbox):
+                for v in ctx.neighbors:
+                    ctx.send(v, "ping")
+
+        sim = Simulator(
+            path5, {v: Forever() for v in path5.nodes}, backend=backend
+        )
+        with pytest.raises(SimulationError, match="did not quiesce"):
+            sim.run_to_completion(max_rounds=5)
+
+
+class SlotFlood(FloodMaxLeaderElection):
+    """Module-level (sharded programs must pickle by qualified name):
+    FloodMax with an extra ``__slots__``-declared counter."""
+
+    __slots__ = ("seen_rounds",)
+
+    def __init__(self):
+        super().__init__()
+        self.seen_rounds = 0
+
+    def on_round(self, ctx, inbox):
+        self.seen_rounds += 1
+        super().on_round(ctx, inbox)
+
+
+class TestShardedStateSync:
+    def test_final_program_state_reaches_caller_objects(self, grid33):
+        programs = {v: EchoBroadcast(0) for v in grid33.nodes}
+        sim = Simulator(
+            grid33, programs, backend=ShardedBackend(num_shards=3)
+        )
+        sim.run_to_completion()
+        # The worker-side executions were written back into the exact
+        # objects the caller constructed.
+        assert all(p.informed and p.done for p in programs.values())
+        assert programs[0].parent is None
+
+    def test_close_is_idempotent(self, path5):
+        programs = {v: FloodMaxLeaderElection() for v in path5.nodes}
+        sim = Simulator(path5, programs, backend="sharded")
+        sim.run_to_completion()
+        sim.close()
+        sim.close()
+        assert all(p.leader == 4 for p in programs.values())
+
+    def test_manual_stepping_syncs_on_quiescence(self, path5):
+        programs = {v: FloodMaxLeaderElection() for v in path5.nodes}
+        sim = Simulator(
+            path5, programs, backend=ShardedBackend(num_shards=2)
+        )
+        sim.start()
+        while sim.step():
+            pass
+        try:
+            assert all(p.leader == 4 for p in programs.values())
+        finally:
+            sim.close()
+
+    def test_unsyncable_program_state_fails_loudly(self, path5):
+        # A program that grows unpicklable state mid-run cannot be
+        # collected back from the workers; run_to_completion must raise
+        # rather than return a round count with stale caller-side state.
+        class Sticky(FloodMaxLeaderElection):
+            def on_round(self, ctx, inbox):
+                self.callback = lambda: None  # unpicklable
+                super().on_round(ctx, inbox)
+
+        programs = {v: Sticky() for v in path5.nodes}
+        sim = Simulator(
+            path5, programs, backend=ShardedBackend(num_shards=2)
+        )
+        with pytest.raises(Exception):
+            sim.run_to_completion()
+        # The worker pool was still torn down.
+        assert sim.backend._conns == [] and sim.backend._procs == []
+
+    def test_more_shards_than_nodes_clamped(self, triangle):
+        programs = {v: FloodMaxLeaderElection() for v in triangle.nodes}
+        sim = Simulator(
+            triangle, programs, backend=ShardedBackend(num_shards=16)
+        )
+        sim.run_to_completion()
+        assert all(p.leader == 2 for p in programs.values())
+
+    def test_slots_program_state_syncs_back(self, path5):
+        programs = {v: SlotFlood() for v in path5.nodes}
+        sim = Simulator(
+            path5, programs, backend=ShardedBackend(num_shards=2)
+        )
+        sim.run_to_completion()
+        # Both the dict state (leader) and the slot state (seen_rounds)
+        # reached the caller's objects.
+        assert all(p.leader == 4 for p in programs.values())
+        assert all(p.seen_rounds > 0 for p in programs.values())
+
+    def test_rebinding_reused_backend_closes_old_workers(self, path5, triangle):
+        backend = ShardedBackend(num_shards=2)
+        first = {v: FloodMaxLeaderElection() for v in path5.nodes}
+        sim1 = Simulator(path5, first, backend=backend)
+        sim1.start()
+        old_procs = list(backend._procs)
+        assert old_procs and all(p.is_alive() for p in old_procs)
+        # Reusing the instance rebinds it; the old pool must be torn
+        # down (and the first execution's partial state synced back).
+        second = {v: FloodMaxLeaderElection() for v in triangle.nodes}
+        sim2 = Simulator(triangle, second, backend=backend)
+        assert all(not p.is_alive() for p in old_procs)
+        assert all(p.leader is not None for p in first.values())
+        sim2.run_to_completion()
+        assert all(p.leader == 2 for p in second.values())
+
+
+class TestFlatArrayInternals:
+    def test_eids_follow_canonical_order(self):
+        from repro.model.graph import WeightedGraph
+        from repro.netmodel import node_sort_key
+
+        # Mixed-digit IDs: repr order (10 < 2 < 9) must not leak in.
+        senders = [2, 9, 10]
+        graph = WeightedGraph([5] + senders, [(s, 5, 1) for s in senders])
+        programs = {v: FloodMaxLeaderElection() for v in graph.nodes}
+        sim = Simulator(graph, programs, backend="flatarray")
+        backend = sim.backend
+        pairs = list(zip(backend._eid_sender, backend._eid_receiver))
+        assert pairs == sorted(
+            pairs, key=lambda p: (node_sort_key(p[0]), node_sort_key(p[1]))
+        )
+        sim.run_to_completion()
+        assert all(p.leader == 10 for p in programs.values())

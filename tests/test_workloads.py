@@ -2,9 +2,11 @@
 
 import random
 
+import networkx as nx
 import pytest
 
 from repro.workloads import (
+    ensure_connected,
     grid_graph,
     grid_instance,
     random_connected_graph,
@@ -140,3 +142,53 @@ class TestSeededReproducibility:
         a = random_connected_graph(15, 0.3, random.Random(1))
         b = random_connected_graph(15, 0.3, random.Random(2))
         assert _graph_fingerprint(a) != _graph_fingerprint(b)
+
+
+class TestEnsureConnected:
+    def test_connected_graph_untouched(self):
+        g = nx.path_graph(4)
+        assert ensure_connected(g) is g
+
+    def test_disconnected_graph_gets_path_overlay(self):
+        g = nx.empty_graph(6)
+        fixed = ensure_connected(g)
+        assert nx.is_connected(fixed)
+        assert fixed.number_of_edges() == 5  # exactly the fallback path
+
+    def test_overlay_preserves_sampled_edges_and_attributes(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(5), flavor="sampled")
+        g.add_edge(0, 3)
+        fixed = ensure_connected(g)
+        assert fixed.has_edge(0, 3)
+        assert fixed.nodes[0]["flavor"] == "sampled"
+
+    def test_non_integer_labels_rejected_not_silently_disconnected(self):
+        g = nx.Graph([("a", "b"), ("c", "d")])
+        with pytest.raises(ValueError, match="0..n-1"):
+            ensure_connected(g)
+
+    def test_non_contiguous_integer_labels_rejected_no_phantom_nodes(self):
+        # Without the label check, path_graph(4) over nodes {0,1,3,4}
+        # would inject a phantom node 2 and report "connected".
+        g = nx.Graph([(0, 1), (3, 4)])
+        with pytest.raises(ValueError, match="0..n-1"):
+            ensure_connected(g)
+
+    @pytest.mark.parametrize(
+        "build",
+        [
+            lambda: random_connected_graph(12, 0.0, random.Random(5)),
+            lambda: random_geometric_graph(12, 0.01, random.Random(5)),
+        ],
+        ids=["gnp", "geometric"],
+    )
+    def test_fallback_path_edges_always_receive_weights(self, build):
+        # p=0 / tiny radius force the path-overlay fallback for (nearly)
+        # every edge; each must carry an explicit positive integer weight
+        # (never the from_networkx missing-weight default applied blindly).
+        g = build()
+        assert g.is_connected()
+        assert g.num_edges >= 11  # the fallback path is present
+        for u, v, w in g.edges():
+            assert isinstance(w, int) and w >= 1
