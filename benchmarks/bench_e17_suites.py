@@ -1,0 +1,82 @@
+"""E17 — workload-suite throughput and cache absorption.
+
+Runs a curated suite end-to-end through the engine twice against one
+store: the cold pass executes every job of the suite's multi-family
+grid, the warm pass must be absorbed entirely by the content-hash
+cache. Asserts (a) the cold pass covers ≥ 4 graph families and ≥ 2
+terminal placements, (b) the warm pass executes zero jobs, and (c)
+cached reads return byte-identical records. pytest-benchmark times the
+warm pass — the cache-hit path is the suite subsystem's hot loop (CI
+re-runs land there), so its latency is the figure that matters.
+
+Environment knobs:
+
+* ``E17_SUITE`` — suite name to drive (default ``smoke``).
+"""
+
+import os
+
+from benchmarks.conftest import print_table
+from repro.engine import SUITES, ResultStore, run_suite
+
+SUITE = os.environ.get("E17_SUITE", "smoke")
+
+
+def _run(store_path):
+    suite = SUITES.get(SUITE)
+    store = ResultStore(store_path)
+    return run_suite(suite.scenarios, store=store, parallel=False)
+
+
+def test_e17_suite_cold_then_cached(benchmark, tmp_path):
+    store_path = tmp_path / "suite.jsonl"
+    suite = SUITES.get(SUITE)
+
+    cold = _run(store_path)
+    assert sum(stats.executed for stats in cold) == suite.job_count()
+    assert sum(stats.cached for stats in cold) == 0
+
+    cold_records = {
+        record["key"]: record
+        for stats in cold
+        for record in stats.records
+    }
+    families = {spec.family for spec in suite.scenarios}
+    placements = {
+        record["placement"] for record in cold_records.values()
+    }
+    assert len(families) >= 4, f"suite {SUITE} spans only {families}"
+    assert len(placements) >= 2, f"suite {SUITE} spans only {placements}"
+
+    # The warm pass is the benchmark target: a fresh store instance
+    # re-parses the file, re-derives every cache key, and executes
+    # nothing.
+    warm = benchmark.pedantic(
+        lambda: _run(store_path), rounds=3, iterations=1
+    )
+    assert sum(stats.executed for stats in warm) == 0
+    assert sum(stats.cached for stats in warm) == suite.job_count()
+    for stats in warm:
+        for record in stats.records:
+            assert record == cold_records[record["key"]]
+
+    rows = [
+        (
+            stats.scenario,
+            next(
+                spec.family
+                for spec in suite.scenarios
+                if spec.name == stats.scenario
+            ),
+            stats.executed,
+            stats.cached,
+            len(stats.records),
+        )
+        for stats in warm
+    ]
+    print_table(
+        f"E17: suite '{SUITE}' warm pass (cold executed "
+        f"{suite.job_count()} jobs across {len(families)} families)",
+        ("scenario", "family", "executed", "cached", "records"),
+        rows,
+    )

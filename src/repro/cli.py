@@ -11,6 +11,8 @@ Commands:
   parallel worker processes, persisting results to a store.
 * ``batch`` — run ad-hoc scenario specs from a JSON file through the
   same engine.
+* ``suite`` — list, inspect, or run curated scenario suites (``smoke``,
+  ``adversity``, ``scaling``, ``nightly``) through the same engine.
 * ``report`` — aggregate a result store into per-scenario tables.
 
 The algorithm table lives in :mod:`repro.engine.algorithms`, shared with
@@ -24,7 +26,17 @@ import sys
 from dataclasses import replace
 from typing import Any, Dict, List, Optional
 
-from repro.engine import ALGORITHMS, REGISTRY, ResultStore, ScenarioSpec, render_report, run_suite
+from repro.engine import (
+    ALGORITHMS,
+    REGISTRY,
+    SUITES,
+    ResultStore,
+    ScenarioSpec,
+    expand_suites,
+    render_report,
+    run_suite,
+)
+from repro.engine.jobs import expand_jobs
 from repro.engine.runner import stderr_log
 from repro.exact import steiner_forest_cost
 from repro.lowerbounds import (
@@ -37,7 +49,7 @@ from repro.lowerbounds import (
 )
 from repro.netmodel import NETWORK_MODELS, normalize_network
 from repro.simbackend import BACKENDS, normalize_backend
-from repro.workloads import random_instance
+from repro.workloads import TERMINAL_PLACEMENTS, random_instance
 
 DEFAULT_STORE = "results/experiments.jsonl"
 
@@ -159,6 +171,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(batch)
 
+    suite = sub.add_parser(
+        "suite", help="list, inspect, or run curated scenario suites"
+    )
+    suite.add_argument(
+        "action",
+        choices=("list", "show", "run"),
+        help="list all suites, show members of named suites, or run them",
+    )
+    suite.add_argument(
+        "names",
+        nargs="*",
+        metavar="SUITE",
+        help="suite names (required for show/run)",
+    )
+    _add_engine_options(suite)
+
     report = sub.add_parser("report", help="aggregate a result store")
     report.add_argument("--store", default=DEFAULT_STORE)
     report.add_argument(
@@ -177,6 +205,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="ENGINE",
         help="restrict to one simulation backend "
         f"({', '.join(sorted(BACKENDS))})",
+    )
+    report.add_argument(
+        "--placement",
+        default=None,
+        metavar="STRATEGY",
+        help="restrict to one terminal placement "
+        f"({', '.join(sorted(TERMINAL_PLACEMENTS))})",
     )
     return parser
 
@@ -341,10 +376,58 @@ def _cmd_batch(args) -> int:
     return _run_engine(args, specs)
 
 
+def _spec_placements(spec: ScenarioSpec) -> str:
+    """The placement strategies a spec's grid sweeps, for display."""
+    value = spec.grid.get("placement", "uniform")
+    entries = value if isinstance(value, (list, tuple)) else [value]
+    return ", ".join(str(entry) for entry in entries)
+
+
+def _cmd_suite(args) -> int:
+    if args.action == "list":
+        if args.names:
+            print("error: 'suite list' takes no suite names", file=sys.stderr)
+            return 2
+        print(f"{'suite':10s} {'scenarios':>9s} {'jobs':>6s} description")
+        for name in SUITES.names():
+            suite = SUITES.get(name)
+            print(
+                f"{name:10s} {len(suite.scenarios):9d} "
+                f"{suite.job_count():6d} {suite.description}"
+            )
+        return 0
+    if not args.names:
+        print(f"error: 'suite {args.action}' needs suite names", file=sys.stderr)
+        return 2
+    try:
+        specs = expand_suites(SUITES, args.names)
+    except (KeyError, ValueError) as exc:
+        # KeyError: unknown suite name; ValueError: requested suites
+        # define conflicting specs under one scenario name.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.action == "show":
+        print(
+            f"{'scenario':20s} {'family':12s} {'placements':22s} "
+            f"{'jobs':>5s} {'algorithms'}"
+        )
+        for spec in specs:
+            print(
+                f"{spec.name:20s} {spec.family:12s} "
+                f"{_spec_placements(spec):22s} {len(expand_jobs(spec)):5d} "
+                f"{', '.join(spec.algorithms)}"
+            )
+        return 0
+    return _run_engine(args, specs)
+
+
 def _cmd_report(args) -> int:
     store = ResultStore(args.store)
     records = store.select(
-        scenario=args.scenario, network=args.network, backend=args.backend
+        scenario=args.scenario,
+        network=args.network,
+        backend=args.backend,
+        placement=args.placement,
     )
     print(render_report(records))
     return 0
@@ -358,6 +441,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "gadget": _cmd_gadget,
         "sweep": _cmd_sweep,
         "batch": _cmd_batch,
+        "suite": _cmd_suite,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -12,6 +12,9 @@ first-class subsystem:
   independently seeded :class:`Job` records.
 * :mod:`repro.engine.runner` — parallel execution across worker
   processes with per-job metric collection.
+* :mod:`repro.engine.suites` — curated, named suites of scenarios
+  (``smoke``, ``adversity``, ``scaling``, ``nightly``) expanded through
+  the same runner/store stack.
 * :mod:`repro.engine.store` — append-only JSONL result store with
   content-hash caching (re-running a spec skips computed rows).
 * :mod:`repro.engine.aggregate` — grouping and statistics feeding
@@ -38,6 +41,7 @@ from repro.engine.registry import (
 from repro.engine.report import render_report
 from repro.engine.runner import SweepStats, build_instance, execute_job, run_spec, run_suite, stderr_log
 from repro.engine.store import ResultStore
+from repro.engine.suites import SUITES, SuiteRegistry, SuiteSpec, expand_suites
 
 __all__ = [
     "ALGORITHMS",
@@ -62,4 +66,8 @@ __all__ = [
     "run_suite",
     "stderr_log",
     "ResultStore",
+    "SUITES",
+    "SuiteRegistry",
+    "SuiteSpec",
+    "expand_suites",
 ]

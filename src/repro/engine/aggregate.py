@@ -27,7 +27,8 @@ def _mean(values: Sequence[float]) -> Optional[float]:
 
 
 class AggregateRow(NamedTuple):
-    """Per-(scenario, network, backend, algorithm) summary statistics."""
+    """Per-(scenario, network, backend, placement, algorithm) summary
+    statistics."""
 
     scenario: str
     algorithm: str
@@ -40,6 +41,7 @@ class AggregateRow(NamedTuple):
     total_wall_time: float
     network: str = "reliable"
     backend: str = "reference"
+    placement: str = "uniform"
 
 
 def group_records(
@@ -71,11 +73,17 @@ def _backend_name(record: Mapping[str, Any]) -> str:
     return name
 
 
+def _placement_name(record: Mapping[str, Any]) -> str:
+    """Grouping key: stamped on v4 records, ``uniform`` for older rows
+    and runner-free records."""
+    return record.get("placement", "uniform")
+
+
 def aggregate_records(
     records: Iterable[Mapping[str, Any]],
 ) -> List[AggregateRow]:
     """One :class:`AggregateRow` per (scenario, network, backend,
-    algorithm) group."""
+    placement, algorithm) group."""
     rows = []
     groups = defaultdict(list)
     for record in records:
@@ -83,10 +91,11 @@ def aggregate_records(
             record.get("scenario"),
             _network_name(record),
             _backend_name(record),
+            _placement_name(record),
             record.get("algorithm"),
         )
         groups[key].append(record)
-    for (scenario, network, backend, algorithm), group in sorted(
+    for (scenario, network, backend, placement, algorithm), group in sorted(
         groups.items(), key=lambda item: repr(item[0])
     ):
         weights = [w for r in group if (w := _metric(r, "weight")) is not None]
@@ -106,6 +115,7 @@ def aggregate_records(
                 total_wall_time=sum(walls),
                 network=network,
                 backend=backend,
+                placement=placement,
             )
         )
     return rows

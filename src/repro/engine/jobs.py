@@ -22,6 +22,7 @@ from typing import Any, Dict, Iterator, List, Mapping, Tuple
 from repro.engine.registry import PLACEMENT_KEYS, ScenarioSpec
 from repro.netmodel import is_default_network, normalize_network
 from repro.simbackend import is_default_backend, normalize_backend
+from repro.workloads import DEFAULT_PLACEMENT, TERMINAL_PLACEMENTS
 
 
 def canonical_json(value: Any) -> str:
@@ -67,6 +68,14 @@ class Job:
         family: graph family key.
         family_params: resolved builder parameters (scalars only).
         k / component_size: terminal placement.
+        placement: terminal-placement strategy (a
+            :data:`repro.workloads.TERMINAL_PLACEMENTS` key). The
+            default ``uniform`` strategy is *omitted* from
+            :meth:`identity` and the placement seed, so
+            pre-placement-axis stores keep their cache keys and every
+            uniform-placement job re-derives the exact instances of
+            earlier schema versions; each other strategy hashes to its
+            own key.
         algorithm: registered algorithm name.
         algo_params: resolved solver keyword arguments.
         network: canonical network-condition spec (see
@@ -89,6 +98,7 @@ class Job:
     k: int
     component_size: int
     algorithm: str
+    placement: str = DEFAULT_PLACEMENT
     algo_params: Mapping[str, Any] = field(default_factory=dict)
     network: Mapping[str, Any] = field(
         default_factory=lambda: normalize_network(None)
@@ -100,6 +110,11 @@ class Job:
     exact: bool = False
 
     def __post_init__(self) -> None:
+        if self.placement not in TERMINAL_PLACEMENTS:
+            raise ValueError(
+                f"unknown terminal placement {self.placement!r}; "
+                f"choose from {sorted(TERMINAL_PLACEMENTS)}"
+            )
         object.__setattr__(self, "network", normalize_network(self.network))
         object.__setattr__(self, "backend", normalize_backend(self.backend))
 
@@ -116,6 +131,8 @@ class Job:
             "seed_index": self.seed_index,
             "exact": self.exact,
         }
+        if self.placement != DEFAULT_PLACEMENT:
+            ident["placement"] = self.placement
         if not is_default_network(self.network):
             ident["network"] = {
                 "model": self.network["model"],
@@ -153,6 +170,10 @@ class Job:
             k=self.k,
             component_size=self.component_size,
         )
+        # The default strategy is omitted so uniform-placement jobs
+        # re-derive the exact terminal sets of pre-placement-axis runs.
+        if self.placement != DEFAULT_PLACEMENT:
+            placement["placement"] = self.placement
         return derive_seed(placement, "placement")
 
     def algorithm_seed(self) -> int:
@@ -177,6 +198,7 @@ class Job:
             k=int(data["k"]),
             component_size=int(data["component_size"]),
             algorithm=data["algorithm"],
+            placement=data.get("placement", DEFAULT_PLACEMENT),
             algo_params=dict(data.get("algo_params", {})),
             network=normalize_network(data.get("network")),
             backend=normalize_backend(data.get("backend")),
@@ -187,19 +209,24 @@ class Job:
 
 def _split_placement(
     params: Mapping[str, Any]
-) -> Tuple[Dict[str, Any], int, int]:
+) -> Tuple[Dict[str, Any], int, int, str]:
     family_params = {
         name: value for name, value in params.items()
         if name not in PLACEMENT_KEYS
     }
-    return family_params, int(params.get("k", 2)), int(params.get("component_size", 2))
+    return (
+        family_params,
+        int(params.get("k", 2)),
+        int(params.get("component_size", 2)),
+        str(params.get("placement", DEFAULT_PLACEMENT)),
+    )
 
 
 def iter_jobs(spec: ScenarioSpec) -> Iterator[Job]:
     """Expand a spec into jobs: grid × network × backend × algo_grid ×
     algorithms × seeds."""
     for params in expand_grid(spec.grid):
-        family_params, k, component_size = _split_placement(params)
+        family_params, k, component_size, placement = _split_placement(params)
         for network in spec.network:
             for backend in spec.backend:
                 for algo_params in expand_grid(spec.algo_grid):
@@ -212,6 +239,7 @@ def iter_jobs(spec: ScenarioSpec) -> Iterator[Job]:
                                 k=k,
                                 component_size=component_size,
                                 algorithm=algorithm,
+                                placement=placement,
                                 algo_params=algo_params,
                                 network=network,
                                 backend=backend,

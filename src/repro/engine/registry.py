@@ -16,10 +16,18 @@ from repro.model.graph import WeightedGraph
 from repro.netmodel import NETWORK_MODELS, build_network_model, normalize_network
 from repro.simbackend import BACKENDS, build_backend, normalize_backend
 from repro.workloads import (
+    TERMINAL_PLACEMENTS,
+    broom_graph,
+    caterpillar_graph,
+    clustered_geometric_graph,
     grid_graph,
+    powerlaw_graph,
     random_connected_graph,
     random_geometric_graph,
+    random_regular_graph,
     ring_of_blobs,
+    smallworld_graph,
+    torus_graph,
 )
 
 
@@ -62,6 +70,62 @@ def _build_ring(
     )
 
 
+def _build_powerlaw(
+    rng: random.Random, n: int = 16, m_attach: int = 2, max_weight: int = 20
+) -> WeightedGraph:
+    return powerlaw_graph(n, m_attach, rng, max_weight=max_weight)
+
+
+def _build_smallworld(
+    rng: random.Random,
+    n: int = 16,
+    k_nearest: int = 4,
+    rewire_p: float = 0.2,
+    max_weight: int = 20,
+) -> WeightedGraph:
+    return smallworld_graph(
+        n, k_nearest, rewire_p, rng, max_weight=max_weight
+    )
+
+
+def _build_regular(
+    rng: random.Random, n: int = 16, degree: int = 3, max_weight: int = 20
+) -> WeightedGraph:
+    return random_regular_graph(n, degree, rng, max_weight=max_weight)
+
+
+def _build_torus(
+    rng: random.Random, rows: int = 4, cols: int = 4, max_weight: int = 10
+) -> WeightedGraph:
+    return torus_graph(rows, cols, rng, max_weight=max_weight)
+
+
+def _build_caterpillar(
+    rng: random.Random, spine: int = 5, legs: int = 2, max_weight: int = 10
+) -> WeightedGraph:
+    return caterpillar_graph(spine, legs, rng, max_weight=max_weight)
+
+
+def _build_broom(
+    rng: random.Random, handle: int = 6, bristles: int = 4, max_weight: int = 10
+) -> WeightedGraph:
+    return broom_graph(handle, bristles, rng, max_weight=max_weight)
+
+
+def _build_cluster_geo(
+    rng: random.Random,
+    n: int = 16,
+    clusters: int = 3,
+    spread: float = 0.08,
+    radius: float = 0.22,
+    weight_scale: int = 100,
+) -> WeightedGraph:
+    return clustered_geometric_graph(
+        n, clusters, rng,
+        spread=spread, radius=radius, weight_scale=weight_scale,
+    )
+
+
 GRAPH_FAMILIES: Mapping[str, GraphFamily] = {
     fam.name: fam
     for fam in (
@@ -69,11 +133,41 @@ GRAPH_FAMILIES: Mapping[str, GraphFamily] = {
         GraphFamily("geometric", _build_geometric, "random geometric graph"),
         GraphFamily("grid", _build_grid, "rows × cols grid"),
         GraphFamily("ring", _build_ring, "ring of cliques (controllable s)"),
+        GraphFamily(
+            "powerlaw", _build_powerlaw,
+            "Barabási–Albert power-law (hub congestion)",
+        ),
+        GraphFamily(
+            "smallworld", _build_smallworld,
+            "Watts–Strogatz small-world (shortcuts vs locality)",
+        ),
+        GraphFamily(
+            "regular", _build_regular,
+            "random-regular expander (no hubs, no locality)",
+        ),
+        GraphFamily(
+            "torus", _build_torus,
+            "periodic grid (s ≈ √n, vertex-transitive)",
+        ),
+        GraphFamily(
+            "caterpillar", _build_caterpillar,
+            "caterpillar tree (s linear in spine)",
+        ),
+        GraphFamily(
+            "broom", _build_broom,
+            "broom tree (long handle into one star)",
+        ),
+        GraphFamily(
+            "cluster_geo", _build_cluster_geo,
+            "clustered geometric (strong locality)",
+        ),
     )
 }
 
 #: Grid keys routed to terminal placement rather than the graph builder.
-PLACEMENT_KEYS = ("k", "component_size")
+#: ``placement`` selects a :data:`repro.workloads.TERMINAL_PLACEMENTS`
+#: strategy and — like any grid key — sweeps when given as a list.
+PLACEMENT_KEYS = ("k", "component_size", "placement")
 
 
 def normalize_networks(network: Any) -> Tuple[Dict[str, Any], ...]:
@@ -177,6 +271,15 @@ class ScenarioSpec:
             )
         if self.seeds < 1:
             raise ValueError("seeds must be >= 1")
+        placements = self.grid.get("placement", ())
+        if not isinstance(placements, (list, tuple)):
+            placements = (placements,)
+        unknown = [p for p in placements if p not in TERMINAL_PLACEMENTS]
+        if unknown:
+            raise ValueError(
+                f"unknown terminal placements {unknown}; "
+                f"choose from {sorted(TERMINAL_PLACEMENTS)}"
+            )
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "grid", dict(self.grid))
         object.__setattr__(self, "algo_grid", dict(self.algo_grid))
@@ -307,6 +410,87 @@ REGISTRY.register(
         grid={"num_blobs": [3, 4], "blob_size": 3, "k": 2, "component_size": 2},
         seeds=2,
         description="ring-of-blobs: sweeping shortest-path diameter s",
+    )
+)
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="powerlaw-hubs",
+        family="powerlaw",
+        algorithms=("distributed", "sublinear"),
+        grid={
+            "n": [16, 24], "m_attach": 2,
+            "k": 2, "component_size": 2, "placement": "hub_spoke",
+        },
+        seeds=2,
+        description="power-law hubs: skewed degrees, demands through one hub",
+    )
+)
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="smallworld-far",
+        family="smallworld",
+        algorithms=("distributed", "randomized"),
+        grid={
+            "n": [16, 24], "k_nearest": 4, "rewire_p": 0.2,
+            "k": 2, "component_size": 2, "placement": "far_pairs",
+        },
+        seeds=2,
+        description="small-world shortcuts vs maximally distant demands",
+    )
+)
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="torus-local",
+        family="torus",
+        algorithms=("distributed", "sublinear"),
+        grid={
+            "rows": [3, 4], "cols": 4,
+            "k": 2, "component_size": 2, "placement": "clustered",
+        },
+        seeds=2,
+        description="torus (s ≈ √n) with clustered demands: small-moat regime",
+    )
+)
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="trees-sparse",
+        family="caterpillar",
+        algorithms=("moat", "distributed"),
+        grid={"spine": [4, 6], "legs": 2, "k": 2, "component_size": 2},
+        seeds=2,
+        description="caterpillar trees: s linear in spine, unique paths",
+    )
+)
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="expander-placements",
+        family="regular",
+        algorithms=("distributed", "spanner"),
+        grid={
+            "n": [12, 16], "degree": 3, "k": 2, "component_size": 2,
+            "placement": ["uniform", "far_pairs"],
+        },
+        seeds=2,
+        description="random-regular expander crossed with two placements",
+    )
+)
+
+REGISTRY.register(
+    ScenarioSpec(
+        name="cluster-geo",
+        family="cluster_geo",
+        algorithms=("moat", "distributed"),
+        grid={
+            "n": [16], "clusters": 3,
+            "k": 2, "component_size": 2, "placement": "clustered",
+        },
+        seeds=2,
+        description="clustered geometric: intra-cluster merges, long bridges",
     )
 )
 

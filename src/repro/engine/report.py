@@ -30,7 +30,8 @@ def render_report(records: List[Mapping[str, Any]]) -> str:
     any adverse one), the table grows a ``network`` column so the
     conditions read side by side; likewise a ``backend`` column appears
     when records span more than one execution engine (or any
-    non-reference one).
+    non-reference one), and a ``placement`` column when records span a
+    non-uniform terminal placement.
     """
     if not records:
         return "no records"
@@ -41,6 +42,8 @@ def render_report(records: List[Mapping[str, Any]]) -> str:
         show_network = networks != {"reliable"}
         backends = {agg.backend for agg in aggregates}
         show_backend = backends != {"reference"}
+        placements = {agg.placement for agg in aggregates}
+        show_placement = placements != {"uniform"}
         rows = []
         for agg in aggregates:
             row = [
@@ -51,6 +54,8 @@ def render_report(records: List[Mapping[str, Any]]) -> str:
                 _fmt(agg.max_ratio, ".3f"),
                 _fmt(agg.total_wall_time, ".3f"),
             ]
+            if show_placement:
+                row.insert(1, agg.placement)
             if show_backend:
                 row.insert(1, agg.backend)
             if show_network:
@@ -59,6 +64,8 @@ def render_report(records: List[Mapping[str, Any]]) -> str:
         header = [
             "algorithm", "jobs", "mean W", "mean rounds", "max ratio", "wall s",
         ]
+        if show_placement:
+            header.insert(1, "placement")
         if show_backend:
             header.insert(1, "backend")
         if show_network:

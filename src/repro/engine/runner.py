@@ -20,7 +20,7 @@ from repro.engine.registry import GRAPH_FAMILIES, ScenarioSpec
 from repro.engine.store import SCHEMA_VERSION, ResultStore
 from repro.model.instance import SteinerForestInstance
 from repro.netmodel import build_network_model
-from repro.workloads import terminals_on_graph
+from repro.workloads import place_terminals
 
 #: Result attributes promoted to metrics whenever the solver exposes them.
 _OPTIONAL_RESULT_METRICS = (
@@ -35,8 +35,9 @@ def build_instance(job: Job) -> SteinerForestInstance:
     """Rebuild the (algorithm-independent) instance a job runs on."""
     family = GRAPH_FAMILIES[job.family]
     graph = family.build(random.Random(job.graph_seed()), **job.family_params)
-    return terminals_on_graph(
-        graph, job.k, job.component_size, random.Random(job.placement_seed())
+    return place_terminals(
+        job.placement, graph, job.k, job.component_size,
+        random.Random(job.placement_seed()),
     )
 
 
@@ -104,7 +105,9 @@ def execute_job(job_dict: Mapping[str, Any]) -> Dict[str, Any]:
     record["key"] = job.key
     record["schema"] = SCHEMA_VERSION
     # Explicit display/grouping fields: identity() omits the default
-    # network and backend (cache-key stability), records never do.
+    # network, backend, and placement (cache-key stability), records
+    # never do.
+    record["placement"] = job.placement
     record["network"] = {
         "model": network_model.name,
         "params": dict(job.network["params"]),

@@ -22,12 +22,13 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 #: v1: no network condition. v2: records carry ``network`` (canonical
 #: spec dict) and ``network_model`` (model name, the grouping field).
 #: v3: records additionally carry ``backend`` (canonical spec dict) and
-#: ``backend_name`` (engine name, the grouping field). Old rows read
-#: back with the defaults filled in — v1 as the clean ``reliable``
-#: channel, v1/v2 as the ``reference`` engine — and their cache keys are
-#: unchanged (default-network/-backend jobs hash identically), so old
-#: stores keep absorbing re-runs.
-SCHEMA_VERSION = 3
+#: ``backend_name`` (engine name, the grouping field). v4: records
+#: carry ``placement`` (terminal-placement strategy name). Old rows
+#: read back with the defaults filled in — v1 as the clean ``reliable``
+#: channel, v1/v2 as the ``reference`` engine, v1–v3 as ``uniform``
+#: placement — and their cache keys are unchanged (default-valued jobs
+#: hash identically), so old stores keep absorbing re-runs.
+SCHEMA_VERSION = 4
 
 _RELIABLE = {"model": "reliable", "params": {}}
 _REFERENCE = {"name": "reference", "params": {}}
@@ -43,6 +44,8 @@ def _upgrade(row: Dict[str, Any]) -> Dict[str, Any]:
         row["backend"] = dict(_REFERENCE, params={})
     if "backend_name" not in row:
         row["backend_name"] = row["backend"].get("name", "reference")
+    if "placement" not in row:
+        row["placement"] = "uniform"
     return row
 
 
@@ -81,9 +84,10 @@ class ResultStore:
         keys: Optional[Iterable[str]] = None,
         network: Optional[str] = None,
         backend: Optional[str] = None,
+        placement: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         """Records filtered by scenario, network model name, backend
-        engine name, and/or an explicit key set."""
+        engine name, placement strategy, and/or an explicit key set."""
         wanted = set(keys) if keys is not None else None
         out = []
         for record in self._load():
@@ -92,6 +96,8 @@ class ResultStore:
             if network is not None and record.get("network_model") != network:
                 continue
             if backend is not None and record.get("backend_name") != backend:
+                continue
+            if placement is not None and record.get("placement") != placement:
                 continue
             if wanted is not None and record["key"] not in wanted:
                 continue

@@ -1,0 +1,267 @@
+"""Curated scenario suites: named, parameterized grids of scenarios.
+
+A :class:`SuiteSpec` bundles scenarios into one named unit of work —
+``repro suite run smoke`` expands every member through the existing
+job/runner/store stack, so suite runs share cache keys with plain
+``sweep`` runs of the same scenarios (a suite adds *curation*, not a
+new execution path).
+
+Members referenced from the scenario registry are included byte-
+identically (their cache keys are exactly the ``sweep`` keys); inline
+members let a suite parameterize grids the registry doesn't carry —
+scaling sweeps, exact-ratio probes, placement crosses.
+
+Built-in suites:
+
+* ``smoke`` — one small scenario per major graph-family regime; the CI
+  end-to-end gate. Seconds.
+* ``adversity`` — scenarios crossed with lossy/delay/crash network
+  conditions.
+* ``scaling`` — growing-``n`` sweeps feeding the report's power-law
+  fits.
+* ``nightly`` — every registered scenario, exact-ratio probes on tiny
+  instances of each new family, and a full placement cross.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.engine.jobs import expand_jobs
+from repro.engine.registry import REGISTRY, ScenarioSpec
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """A named, ordered bundle of scenario specs.
+
+    Attributes:
+        name: suite-registry key.
+        scenarios: member specs, run in order. Names must be unique
+            within the suite (they key the result store's records).
+        description: one-line summary for ``suite list`` output.
+    """
+
+    name: str
+    scenarios: Tuple[ScenarioSpec, ...]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "scenarios", tuple(self.scenarios))
+        if not self.scenarios:
+            raise ValueError(f"suite {self.name!r} has no scenarios")
+        names = [spec.name for spec in self.scenarios]
+        duplicates = sorted({n for n in names if names.count(n) > 1})
+        if duplicates:
+            raise ValueError(
+                f"suite {self.name!r} repeats scenario names {duplicates}"
+            )
+
+    @property
+    def scenario_names(self) -> Tuple[str, ...]:
+        return tuple(spec.name for spec in self.scenarios)
+
+    def job_count(self) -> int:
+        """Total jobs the suite expands to (before cache hits)."""
+        return sum(len(expand_jobs(spec)) for spec in self.scenarios)
+
+
+class SuiteRegistry:
+    """Named suites; the ``suite`` subcommand runs these."""
+
+    def __init__(self) -> None:
+        self._suites: Dict[str, SuiteSpec] = {}
+
+    def register(self, suite: SuiteSpec) -> SuiteSpec:
+        if suite.name in self._suites:
+            raise ValueError(f"suite {suite.name!r} already registered")
+        self._suites[suite.name] = suite
+        return suite
+
+    def get(self, name: str) -> SuiteSpec:
+        try:
+            return self._suites[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown suite {name!r}; choose from {sorted(self._suites)}"
+            ) from None
+
+    def names(self) -> List[str]:
+        return sorted(self._suites)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._suites
+
+    def __len__(self) -> int:
+        return len(self._suites)
+
+
+def expand_suites(
+    registry: SuiteRegistry, names: Iterable[str]
+) -> List[ScenarioSpec]:
+    """The scenario specs of the named suites, in order, deduplicated.
+
+    A scenario appearing in several requested suites runs once (the
+    store would absorb the repeats anyway — this keeps the progress
+    log honest about the real workload). Two suites defining
+    *different* specs under one scenario name is a conflict, not a
+    duplicate: silently dropping one would vanish its results, so that
+    raises instead.
+    """
+    names = list(names)
+    specs: List[ScenarioSpec] = []
+    seen: Dict[str, ScenarioSpec] = {}
+    for name in names:
+        for spec in registry.get(name).scenarios:
+            if spec.name not in seen:
+                seen[spec.name] = spec
+                specs.append(spec)
+            elif seen[spec.name] != spec:
+                raise ValueError(
+                    f"suites {list(names)} define conflicting specs "
+                    f"named {spec.name!r}"
+                )
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# Built-in suites
+# ---------------------------------------------------------------------------
+
+SUITES = SuiteRegistry()
+
+SUITES.register(
+    SuiteSpec(
+        name="smoke",
+        scenarios=(
+            REGISTRY.get("gnp-core"),
+            REGISTRY.get("grid-rounds"),
+            REGISTRY.get("powerlaw-hubs"),
+            REGISTRY.get("torus-local"),
+            REGISTRY.get("trees-sparse"),
+        ),
+        description="one small scenario per graph-family regime (CI gate)",
+    )
+)
+
+SUITES.register(
+    SuiteSpec(
+        name="adversity",
+        scenarios=(
+            REGISTRY.get("gnp-adversity"),
+            ScenarioSpec(
+                name="powerlaw-adversity",
+                family="powerlaw",
+                algorithms=("distributed",),
+                grid={
+                    "n": [16, 24], "m_attach": 2,
+                    "k": 2, "component_size": 2, "placement": "hub_spoke",
+                },
+                network=[
+                    "reliable",
+                    {"model": "delay", "params": {"max_delay": 3}},
+                    {"model": "lossy", "params": {"drop_p": 0.1, "retransmit": 2}},
+                ],
+                seeds=2,
+                description="hub-heavy topology under delay and loss",
+            ),
+            ScenarioSpec(
+                name="torus-crash",
+                family="torus",
+                algorithms=("distributed",),
+                grid={"rows": 3, "cols": 4, "k": 2, "component_size": 2},
+                network=[
+                    "reliable",
+                    {"model": "crash", "params": {"victims": [0, 1], "at_round": 2}},
+                ],
+                seeds=2,
+                description="torus with crash-stop victims vs the clean run",
+            ),
+        ),
+        description="scenarios crossed with lossy/delay/crash channels",
+    )
+)
+
+SUITES.register(
+    SuiteSpec(
+        name="scaling",
+        scenarios=(
+            ScenarioSpec(
+                name="scaling-gnp",
+                family="gnp",
+                algorithms=("distributed",),
+                grid={"n": [16, 24, 32, 48], "p": 0.3, "k": 2, "component_size": 2},
+                seeds=2,
+                description="rounds vs n on dense random graphs",
+            ),
+            ScenarioSpec(
+                name="scaling-powerlaw",
+                family="powerlaw",
+                algorithms=("distributed",),
+                grid={
+                    "n": [16, 24, 32, 48], "m_attach": 2,
+                    "k": 2, "component_size": 2,
+                },
+                seeds=2,
+                description="rounds vs n under power-law hubs",
+            ),
+            ScenarioSpec(
+                name="scaling-smallworld",
+                family="smallworld",
+                algorithms=("distributed",),
+                grid={
+                    "n": [16, 24, 32, 48], "k_nearest": 4, "rewire_p": 0.2,
+                    "k": 2, "component_size": 2,
+                },
+                seeds=2,
+                description="rounds vs n with small-world shortcuts",
+            ),
+        ),
+        description="growing-n sweeps feeding the power-law scaling fits",
+    )
+)
+
+
+def _ratio_probe(name: str, family: str, grid: Dict) -> ScenarioSpec:
+    """A tiny exact-ratio scenario: measured cost vs the true optimum."""
+    return ScenarioSpec(
+        name=name,
+        family=family,
+        algorithms=("moat", "rounded", "distributed"),
+        grid=dict(grid, k=2, component_size=2),
+        seeds=3,
+        exact=True,
+        description=f"approximation ratios vs exact OPT on tiny {family}",
+    )
+
+
+SUITES.register(
+    SuiteSpec(
+        name="nightly",
+        scenarios=tuple(REGISTRY.specs()) + (
+            _ratio_probe("ratio-powerlaw", "powerlaw", {"n": 10, "m_attach": 2}),
+            _ratio_probe(
+                "ratio-smallworld", "smallworld",
+                {"n": 10, "k_nearest": 4, "rewire_p": 0.2},
+            ),
+            _ratio_probe("ratio-regular", "regular", {"n": 10, "degree": 3}),
+            _ratio_probe("ratio-broom", "broom", {"handle": 5, "bristles": 4}),
+            _ratio_probe(
+                "ratio-cluster-geo", "cluster_geo", {"n": 10, "clusters": 2},
+            ),
+            ScenarioSpec(
+                name="placement-cross",
+                family="gnp",
+                algorithms=("distributed",),
+                grid={
+                    "n": 14, "p": 0.35, "k": 2, "component_size": 2,
+                    "placement": [
+                        "uniform", "clustered", "far_pairs", "hub_spoke",
+                    ],
+                },
+                seeds=2,
+                description="one graph, all four terminal placements",
+            ),
+        ),
+        description="full catalog: every scenario, exact ratios, placements",
+    )
+)

@@ -1,23 +1,49 @@
 """Workload generators for experiments and tests."""
 
 from repro.workloads.generators import (
+    broom_graph,
+    caterpillar_graph,
+    check_placement_request,
+    clustered_geometric_graph,
     ensure_connected,
     grid_graph,
     grid_instance,
+    powerlaw_graph,
     random_connected_graph,
     random_geometric_graph,
     random_instance,
+    random_regular_graph,
     ring_of_blobs,
+    smallworld_graph,
     terminals_on_graph,
+    torus_graph,
+)
+from repro.workloads.placements import (
+    DEFAULT_PLACEMENT,
+    TERMINAL_PLACEMENTS,
+    TerminalPlacement,
+    place_terminals,
 )
 
 __all__ = [
     "ensure_connected",
+    "check_placement_request",
     "grid_graph",
     "random_connected_graph",
     "random_geometric_graph",
     "ring_of_blobs",
+    "powerlaw_graph",
+    "smallworld_graph",
+    "random_regular_graph",
+    "torus_graph",
+    "caterpillar_graph",
+    "broom_graph",
+    "clustered_geometric_graph",
     "terminals_on_graph",
     "random_instance",
     "grid_instance",
+    "DEFAULT_PLACEMENT",
+    "TERMINAL_PLACEMENTS",
+    "TerminalPlacement",
+    "place_terminals",
 ]

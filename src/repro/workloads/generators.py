@@ -116,6 +116,211 @@ def ring_of_blobs(
     return WeightedGraph(nodes, edges)
 
 
+def powerlaw_graph(
+    n: int,
+    m_attach: int,
+    rng: random.Random,
+    max_weight: int = 20,
+) -> WeightedGraph:
+    """Barabási–Albert preferential-attachment graph (power-law degrees).
+
+    Regime probed: hub-dominated topologies with tiny unweighted
+    diameter D and skewed congestion — most least-weight paths cross a
+    few hubs, stressing the CONGEST bandwidth accounting and the
+    O(ks + t) term rather than the √n term. Connected by construction
+    for ``m_attach >= 1``; uniform random integer weights.
+    """
+    graph = nx.barabasi_albert_graph(
+        n, m_attach, seed=rng.randrange(1 << 30)
+    )
+    for u, v in graph.edges:
+        graph[u][v]["weight"] = rng.randint(1, max_weight)
+    return WeightedGraph.from_networkx(graph)
+
+
+def smallworld_graph(
+    n: int,
+    k_nearest: int,
+    rewire_p: float,
+    rng: random.Random,
+    max_weight: int = 20,
+) -> WeightedGraph:
+    """Watts–Strogatz small-world ring (local clustering + shortcuts).
+
+    Regime probed: high clustering with a few long-range shortcuts —
+    the weighted diameter WD stays ring-like while the hop diameter D
+    collapses, separating the D-dependent pipelining terms from the
+    shortest-path-diameter s the moat emulation pays for.
+    """
+    graph = ensure_connected(
+        nx.watts_strogatz_graph(
+            n, k_nearest, rewire_p, seed=rng.randrange(1 << 30)
+        )
+    )
+    for u, v in graph.edges:
+        graph[u][v]["weight"] = rng.randint(1, max_weight)
+    return WeightedGraph.from_networkx(graph)
+
+
+def random_regular_graph(
+    n: int,
+    degree: int,
+    rng: random.Random,
+    max_weight: int = 20,
+) -> WeightedGraph:
+    """Random ``degree``-regular graph (an expander w.h.p. for degree ≥ 3).
+
+    Regime probed: expanders have logarithmic diameter, no hubs, and no
+    exploitable locality — the adversarial middle ground between dense
+    G(n,p) and grids, where the Õ(sk + √min{st, n}) bound's √n term
+    dominates. ``n * degree`` must be even (networkx requirement).
+    """
+    graph = ensure_connected(
+        nx.random_regular_graph(degree, n, seed=rng.randrange(1 << 30))
+    )
+    for u, v in graph.edges:
+        graph[u][v]["weight"] = rng.randint(1, max_weight)
+    return WeightedGraph.from_networkx(graph)
+
+
+def torus_graph(
+    rows: int, cols: int, rng: random.Random, max_weight: int = 10
+) -> WeightedGraph:
+    """rows × cols torus (grid with periodic boundary, no border effects).
+
+    Regime probed: like the grid, s ≈ √n, but vertex-transitive — every
+    terminal placement sees the same local geometry, isolating
+    placement effects from the grid's corner/edge artifacts.
+    """
+    graph = nx.convert_node_labels_to_integers(
+        nx.grid_2d_graph(rows, cols, periodic=True)
+    )
+    for u, v in graph.edges:
+        graph[u][v]["weight"] = rng.randint(1, max_weight)
+    return WeightedGraph.from_networkx(graph)
+
+
+def caterpillar_graph(
+    spine: int,
+    legs: int,
+    rng: random.Random,
+    max_weight: int = 10,
+) -> WeightedGraph:
+    """Caterpillar tree: a ``spine``-node path with ``legs`` leaves each.
+
+    Regime probed: trees are the sparsest connected inputs — s equals
+    the (hop) diameter and grows linearly in the spine, the worst case
+    for the O(ks + t) deterministic bound, while the unique-path
+    structure makes every algorithm's output cost coincide with OPT.
+    """
+    edges: List[Tuple[int, int, int]] = []
+    next_leaf = spine
+    for i in range(spine):
+        if i + 1 < spine:
+            edges.append((i, i + 1, rng.randint(1, max_weight)))
+        for _ in range(legs):
+            edges.append((i, next_leaf, rng.randint(1, max_weight)))
+            next_leaf += 1
+    nodes = list(range(next_leaf))
+    return WeightedGraph(nodes, edges)
+
+
+def broom_graph(
+    handle: int,
+    bristles: int,
+    rng: random.Random,
+    max_weight: int = 10,
+) -> WeightedGraph:
+    """Broom tree: a ``handle``-node path ending in a ``bristles``-leaf star.
+
+    Regime probed: the extreme terminal-clustering tree — a long handle
+    (large s) funnelling into one high-degree node where all demands
+    meet, the single-bottleneck counterpart of the caterpillar's evenly
+    spread legs.
+    """
+    edges: List[Tuple[int, int, int]] = [
+        (i, i + 1, rng.randint(1, max_weight)) for i in range(handle - 1)
+    ]
+    for leaf in range(handle, handle + bristles):
+        edges.append((handle - 1, leaf, rng.randint(1, max_weight)))
+    nodes = list(range(handle + bristles))
+    return WeightedGraph(nodes, edges)
+
+
+def clustered_geometric_graph(
+    n: int,
+    clusters: int,
+    rng: random.Random,
+    spread: float = 0.08,
+    radius: float = 0.22,
+    weight_scale: int = 100,
+) -> WeightedGraph:
+    """Gaussian clusters of points in the unit square, radius-connected.
+
+    Regime probed: strong terminal locality — intra-cluster distances
+    are tiny against inter-cluster ones, so moats merge within clusters
+    almost immediately and the cost concentrates on a few long
+    cluster-bridging paths (the regime where clustered placement and
+    the randomized embedding shine). Weights ≈ Euclidean distance,
+    including on any connectivity-fallback edges.
+    """
+    centers = [
+        (rng.random(), rng.random()) for _ in range(clusters)
+    ]
+    pos = {}
+    for v in range(n):
+        cx, cy = centers[v % clusters]
+        pos[v] = (
+            min(1.0, max(0.0, rng.gauss(cx, spread))),
+            min(1.0, max(0.0, rng.gauss(cy, spread))),
+        )
+
+    def dist(u: int, v: int) -> float:
+        return (
+            (pos[u][0] - pos[v][0]) ** 2 + (pos[u][1] - pos[v][1]) ** 2
+        ) ** 0.5
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if dist(u, v) <= radius:
+                graph.add_edge(u, v)
+    graph = ensure_connected(graph)
+    for u, v in graph.edges:
+        graph[u][v]["weight"] = max(1, int(dist(u, v) * weight_scale))
+    return WeightedGraph.from_networkx(graph)
+
+
+def check_placement_request(
+    graph: WeightedGraph, k: int, component_size: int
+) -> None:
+    """Validate a terminal-placement request against the graph.
+
+    Components are node-disjoint, so ``k`` components of
+    ``component_size`` terminals need ``k * component_size`` distinct
+    nodes. Degenerate requests (``k < 1``, ``component_size < 1``) and
+    requests for more distinct terminals than the graph has nodes raise
+    a clear ``ValueError`` here — every placement strategy funnels
+    through this check, so none can silently drop components, duplicate
+    a node across components, or loop forever hunting for free nodes.
+    """
+    if k < 1:
+        raise ValueError(f"need at least one input component, got k={k}")
+    if component_size < 1:
+        raise ValueError(
+            f"components need at least one terminal, got "
+            f"component_size={component_size}"
+        )
+    needed = k * component_size
+    if needed > graph.num_nodes:
+        raise ValueError(
+            f"need {needed} distinct terminals for {k} disjoint "
+            f"components of size {component_size} but the graph has only "
+            f"{graph.num_nodes} nodes"
+        )
+
+
 def terminals_on_graph(
     graph: WeightedGraph,
     k: int,
@@ -123,12 +328,8 @@ def terminals_on_graph(
     rng: random.Random,
 ) -> SteinerForestInstance:
     """Place k disjoint input components of the given size uniformly."""
+    check_placement_request(graph, k, component_size)
     nodes = list(graph.nodes)
-    needed = k * component_size
-    if needed > len(nodes):
-        raise ValueError(
-            f"need {needed} terminals but the graph has {len(nodes)} nodes"
-        )
     rng.shuffle(nodes)
     components = [
         nodes[i * component_size: (i + 1) * component_size]

@@ -103,6 +103,94 @@ class TestJobExpansion:
         assert a.num_components == 2 and b.num_components == 3
 
 
+class TestPlacementAxis:
+    def test_default_placement_cache_key_and_seeds_pinned(self):
+        # Uniform-placement jobs must keep the exact cache keys and
+        # derived seeds of pre-placement-axis schemas (v1–v3 stores keep
+        # absorbing re-runs). These constants were computed before the
+        # placement field existed.
+        job = Job("gnp-core", "gnp", {"n": 12, "p": 0.3}, 2, 2, "moat")
+        assert job.key == (
+            "17d647613802497ccc0eb1712e4becfc8a92a106e4993d6a29a0d307fe7b78fb"
+        )
+        assert job.graph_seed() == 4256871043532638782
+        assert job.placement_seed() == 3595446297050400242
+        assert job.algorithm_seed() == 4657064864270727341
+
+    def test_default_placement_omitted_from_identity(self):
+        job = Job("s", "gnp", {"n": 12, "p": 0.4}, 2, 2, "moat")
+        assert "placement" not in job.identity()
+        swept = Job(
+            "s", "gnp", {"n": 12, "p": 0.4}, 2, 2, "moat",
+            placement="far_pairs",
+        )
+        assert swept.identity()["placement"] == "far_pairs"
+        assert swept.key != job.key
+        assert swept.placement_seed() != job.placement_seed()
+        # The graph stream ignores placement entirely: every strategy
+        # re-places terminals on the same graph.
+        assert swept.graph_seed() == job.graph_seed()
+
+    def test_unknown_placement_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown terminal placement"):
+            Job("s", "gnp", {"n": 12}, 2, 2, "moat", placement="teleport")
+
+    def test_job_round_trips_placement(self):
+        job = Job(
+            "s", "gnp", {"n": 12, "p": 0.4}, 2, 2, "moat",
+            placement="clustered",
+        )
+        clone = Job.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+        assert clone.placement == "clustered"
+
+    def test_spec_placement_grid_validates_and_sweeps(self):
+        with pytest.raises(ValueError, match="unknown terminal placements"):
+            tiny_spec(grid={"n": 8, "k": 2, "placement": "teleport"})
+        spec = tiny_spec(
+            grid={
+                "n": 8, "p": 0.4, "k": 2, "component_size": 2,
+                "placement": ["uniform", "hub_spoke"],
+            },
+        )
+        jobs = expand_jobs(spec)
+        assert {job.placement for job in jobs} == {"uniform", "hub_spoke"}
+        # Sweeping placements doubles the grid without touching the
+        # family parameters routed to the graph builder.
+        assert all("placement" not in job.family_params for job in jobs)
+
+    def test_build_instance_dispatches_placement(self):
+        base = Job("s", "gnp", {"n": 14, "p": 0.4}, 2, 2, "moat")
+        hub = Job(
+            "s", "gnp", {"n": 14, "p": 0.4}, 2, 2, "moat",
+            placement="hub_spoke",
+        )
+        a, b = build_instance(base), build_instance(hub)
+        assert a.graph.edges() == b.graph.edges()  # same graph stream
+        graph = a.graph
+        hub_node = max(
+            graph.nodes, key=lambda v: (graph.degree(v), repr(v))
+        )
+        assert hub_node in b.terminals
+
+    def test_record_carries_placement_and_report_grows_column(self):
+        spec = tiny_spec(
+            algorithms=("moat",),
+            grid={
+                "n": 8, "p": 0.4, "k": 2, "component_size": 2,
+                "placement": ["uniform", "far_pairs"],
+            },
+        )
+        records = [execute_job(job.to_dict()) for job in expand_jobs(spec)]
+        assert {r["placement"] for r in records} == {"uniform", "far_pairs"}
+        report = render_report(records)
+        assert "placement" in report
+        assert "far_pairs" in report
+        # A uniform-only record set keeps the compact table.
+        uniform_only = [r for r in records if r["placement"] == "uniform"]
+        assert "placement" not in render_report(uniform_only)
+
+
 class TestExecuteJob:
     def test_deterministic_record(self):
         job = expand_jobs(tiny_spec())[0].to_dict()
@@ -521,7 +609,7 @@ class TestStoreSchemaMigration:
             "reliable", "lossy",
         ]
         # Unstamped appends get the current (bumped) schema version.
-        assert [r["schema"] for r in reread.records()] == [1, 3]
+        assert [r["schema"] for r in reread.records()] == [1, 4]
         assert [r["key"] for r in reread.select(network="lossy")] == ["v2-row"]
         assert [r["key"] for r in reread.select(network="reliable")] == [
             "v1-row"

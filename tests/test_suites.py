@@ -1,0 +1,216 @@
+"""Tests for the curated scenario suites and the ``suite`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import REGISTRY, SUITES, ScenarioSpec, SuiteRegistry, SuiteSpec, expand_suites
+from repro.engine.jobs import expand_jobs
+
+
+class TestSuiteSpec:
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError, match="no scenarios"):
+            SuiteSpec(name="empty", scenarios=())
+
+    def test_duplicate_scenario_names_rejected(self):
+        spec = REGISTRY.get("gnp-core")
+        with pytest.raises(ValueError, match="repeats scenario names"):
+            SuiteSpec(name="dup", scenarios=(spec, spec))
+
+    def test_job_count_sums_members(self):
+        suite = SUITES.get("smoke")
+        assert suite.job_count() == sum(
+            len(expand_jobs(spec)) for spec in suite.scenarios
+        )
+
+
+class TestSuiteRegistry:
+    def test_builtin_suites_registered(self):
+        assert {"smoke", "adversity", "scaling", "nightly"} <= set(
+            SUITES.names()
+        )
+
+    def test_duplicate_registration_rejected(self):
+        registry = SuiteRegistry()
+        suite = SuiteSpec(
+            name="solo", scenarios=(REGISTRY.get("gnp-core"),)
+        )
+        registry.register(suite)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(suite)
+
+    def test_unknown_suite_names_choices(self):
+        with pytest.raises(KeyError, match="unknown suite"):
+            SUITES.get("nope")
+
+    def test_smoke_spans_many_graph_families(self):
+        # The acceptance bar: one suite run covers a multi-family grid.
+        families = {spec.family for spec in SUITES.get("smoke").scenarios}
+        assert len(families) >= 4
+
+    def test_registry_members_are_byte_identical_specs(self):
+        # Suites reference registered scenarios without copying/mutating,
+        # so suite runs share cache keys with plain `sweep` runs.
+        smoke = SUITES.get("smoke")
+        for spec in smoke.scenarios:
+            if spec.name in REGISTRY:
+                assert spec == REGISTRY.get(spec.name)
+
+    def test_expand_suites_deduplicates_across_suites(self):
+        specs = expand_suites(SUITES, ["smoke", "smoke"])
+        names = [spec.name for spec in specs]
+        assert names == list(SUITES.get("smoke").scenario_names)
+
+    def test_expand_suites_rejects_conflicting_same_name_specs(self):
+        # Silently dropping one of two different specs sharing a name
+        # would vanish its results; that's a conflict, not a duplicate.
+        registry = SuiteRegistry()
+        base = REGISTRY.get("gnp-core")
+        variant = ScenarioSpec.from_dict(
+            dict(base.to_dict(), seeds=base.seeds + 1)
+        )
+        registry.register(SuiteSpec(name="a", scenarios=(base,)))
+        registry.register(SuiteSpec(name="b", scenarios=(variant,)))
+        with pytest.raises(ValueError, match="conflicting specs"):
+            expand_suites(registry, ["a", "b"])
+        # Identical specs under one name remain a plain dedup.
+        registry.register(SuiteSpec(name="c", scenarios=(base,)))
+        assert [s.name for s in expand_suites(registry, ["a", "c"])] == [
+            "gnp-core"
+        ]
+
+    def test_nightly_covers_every_registered_scenario(self):
+        nightly = set(SUITES.get("nightly").scenario_names)
+        assert set(REGISTRY.names()) <= nightly
+
+    def test_nightly_exact_probes_cover_new_families(self):
+        exact_families = {
+            spec.family
+            for spec in SUITES.get("nightly").scenarios
+            if spec.exact
+        }
+        assert {"powerlaw", "smallworld", "regular", "broom"} <= exact_families
+
+    def test_all_suite_specs_expand(self):
+        for name in SUITES.names():
+            for spec in SUITES.get(name).scenarios:
+                assert isinstance(spec, ScenarioSpec)
+                assert len(expand_jobs(spec)) > 0
+
+
+class TestSuiteCLI:
+    def test_list_shows_all_suites_with_job_counts(self, capsys):
+        assert main(["suite", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("smoke", "adversity", "scaling", "nightly"):
+            assert name in out
+        assert "jobs" in out
+
+    def test_list_rejects_names(self, capsys):
+        assert main(["suite", "list", "smoke"]) == 2
+        assert "takes no suite names" in capsys.readouterr().err
+
+    def test_show_renders_member_table(self, capsys):
+        assert main(["suite", "show", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "powerlaw-hubs" in out
+        assert "hub_spoke" in out
+        assert "torus-local" in out
+
+    def test_show_without_names_errors(self, capsys):
+        assert main(["suite", "show"]) == 2
+        assert "needs suite names" in capsys.readouterr().err
+
+    def test_unknown_suite_errors(self, capsys):
+        assert main(["suite", "run", "nope", "--no-store"]) == 2
+        assert "unknown suite 'nope'" in capsys.readouterr().err
+
+    def test_run_smoke_executes_then_hits_cache(self, tmp_path, capsys):
+        store = str(tmp_path / "suite.jsonl")
+        args = ["suite", "run", "smoke", "--store", store, "--serial"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        # Every member scenario ran through the engine and reported.
+        for name in SUITES.get("smoke").scenario_names:
+            assert f"scenario: {name}" in out
+        assert "cached=   0" in out
+        # An identical re-run executes nothing: 100% cache hits.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "executed=   0" in out
+        assert "cached=   0" not in out
+        with open(store) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert len(rows) == SUITES.get("smoke").job_count()
+
+    def test_run_suite_shares_cache_with_plain_sweep(self, tmp_path, capsys):
+        # The suite adds curation, not a new execution path: a sweep of a
+        # member scenario fully warms the suite's cache for it.
+        store = str(tmp_path / "shared.jsonl")
+        assert main(
+            ["sweep", "--scenario", "grid-rounds", "--store", store,
+             "--serial"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["suite", "run", "smoke", "--store", store, "--serial"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario grid-rounds          executed=   0 cached=   8" in out
+
+    def test_run_with_network_override(self, tmp_path, capsys):
+        store = str(tmp_path / "suite.jsonl")
+        assert main(
+            ["suite", "run", "smoke", "--store", store, "--serial",
+             "--network", "delay:max_delay=2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "delay" in out
+
+    def test_run_with_backend_override(self, tmp_path, capsys):
+        store = str(tmp_path / "suite.jsonl")
+        assert main(
+            ["suite", "run", "smoke", "--store", store, "--serial",
+             "--backend", "flatarray"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flatarray" in out
+        with open(store) as handle:
+            rows = [json.loads(line) for line in handle]
+        assert {row["backend_name"] for row in rows} == {"flatarray"}
+
+    def test_run_conflicting_suites_error_cleanly(
+        self, monkeypatch, capsys
+    ):
+        # The conflict ValueError from expand_suites must surface as the
+        # CLI's standard `error:` + exit 2, not a traceback. Built-in
+        # suites never conflict, so install a registry that does.
+        import repro.cli as cli_module
+
+        base = REGISTRY.get("gnp-core")
+        variant = ScenarioSpec.from_dict(
+            dict(base.to_dict(), seeds=base.seeds + 1)
+        )
+        registry = SuiteRegistry()
+        registry.register(SuiteSpec(name="a", scenarios=(base,)))
+        registry.register(SuiteSpec(name="b", scenarios=(variant,)))
+        monkeypatch.setattr(cli_module, "SUITES", registry)
+        assert main(["suite", "run", "a", "b", "--no-store"]) == 2
+        assert "conflicting specs" in capsys.readouterr().err
+
+    def test_report_placement_filter(self, tmp_path, capsys):
+        store = str(tmp_path / "suite.jsonl")
+        main(["sweep", "--scenario", "powerlaw-hubs", "--store", store,
+              "--serial"])
+        capsys.readouterr()
+        assert main(
+            ["report", "--store", store, "--placement", "hub_spoke"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "powerlaw-hubs" in out
+        assert main(
+            ["report", "--store", store, "--placement", "uniform"]
+        ) == 0
+        assert "no records" in capsys.readouterr().out

@@ -6,14 +6,23 @@ import networkx as nx
 import pytest
 
 from repro.workloads import (
+    TERMINAL_PLACEMENTS,
+    broom_graph,
+    caterpillar_graph,
+    clustered_geometric_graph,
     ensure_connected,
     grid_graph,
     grid_instance,
+    place_terminals,
+    powerlaw_graph,
     random_connected_graph,
     random_geometric_graph,
     random_instance,
+    random_regular_graph,
     ring_of_blobs,
+    smallworld_graph,
     terminals_on_graph,
+    torus_graph,
 )
 
 
@@ -48,6 +57,123 @@ class TestGraphGenerators:
         assert g.num_nodes == 20
 
 
+class TestNewGraphFamilies:
+    def test_powerlaw_has_hubs(self):
+        g = powerlaw_graph(40, 2, random.Random(1))
+        degrees = sorted(g.degree(v) for v in g.nodes)
+        # Preferential attachment: the top node dominates the median.
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+        assert g.is_connected()
+
+    def test_smallworld_connected_even_when_rewired(self):
+        g = smallworld_graph(24, 4, 0.5, random.Random(2))
+        assert g.is_connected()
+        assert g.num_nodes == 24
+
+    def test_random_regular_degrees(self):
+        g = random_regular_graph(16, 3, random.Random(3))
+        assert g.is_connected()
+        # ensure_connected may add fallback path edges, never remove any.
+        assert all(g.degree(v) >= 3 for v in g.nodes) or g.num_edges >= 24
+
+    def test_torus_is_four_regular(self):
+        g = torus_graph(4, 5, random.Random(4))
+        assert g.num_nodes == 20
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_caterpillar_is_tree_with_legs(self):
+        g = caterpillar_graph(5, 2, random.Random(5))
+        assert g.num_nodes == 15
+        assert g.num_edges == g.num_nodes - 1  # a tree
+        assert g.is_connected()
+        # Leaves: every spine node contributed exactly two.
+        leaves = [v for v in g.nodes if g.degree(v) == 1]
+        assert len(leaves) >= 10
+
+    def test_broom_star_at_handle_end(self):
+        g = broom_graph(6, 4, random.Random(6))
+        assert g.num_nodes == 10
+        assert g.num_edges == 9  # a tree
+        assert g.degree(5) == 5  # handle end: 1 path edge + 4 bristles
+
+    def test_clustered_geometric_connected_with_metric_weights(self):
+        g = clustered_geometric_graph(20, 3, random.Random(7))
+        assert g.is_connected()
+        assert all(w >= 1 for _, _, w in g.edges())
+
+    def test_shortest_path_diameter_regimes_differ(self):
+        # The catalog spans regimes: trees have linear s, power-law tiny s.
+        rng = random.Random(8)
+        tree_s = caterpillar_graph(8, 1, rng).shortest_path_diameter()
+        rng = random.Random(8)
+        hub_s = powerlaw_graph(16, 3, rng).shortest_path_diameter()
+        assert tree_s > hub_s
+
+
+class TestTerminalPlacements:
+    def _graph(self, seed=9):
+        return random_connected_graph(20, 0.3, random.Random(seed))
+
+    @pytest.mark.parametrize("placement", sorted(TERMINAL_PLACEMENTS))
+    def test_disjoint_components_of_requested_shape(self, placement):
+        inst = place_terminals(placement, self._graph(), 3, 2, random.Random(1))
+        assert inst.num_components == 3
+        assert inst.num_terminals == 6  # disjoint: no node reused
+
+    @pytest.mark.parametrize("placement", sorted(TERMINAL_PLACEMENTS))
+    def test_deterministic_given_seed(self, placement):
+        g = self._graph()
+        a = place_terminals(placement, g, 3, 2, random.Random(2))
+        b = place_terminals(placement, g, 3, 2, random.Random(2))
+        assert a.labels == b.labels
+
+    @pytest.mark.parametrize("placement", sorted(TERMINAL_PLACEMENTS))
+    def test_overfull_request_rejected(self, placement):
+        g = random_connected_graph(6, 0.5, random.Random(0))
+        with pytest.raises(ValueError, match="distinct terminals"):
+            place_terminals(placement, g, 4, 2, random.Random(0))
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="unknown terminal placement"):
+            place_terminals("teleport", self._graph(), 2, 2, random.Random(0))
+
+    def test_clustered_members_are_near_their_seed(self):
+        g = self._graph()
+        inst = place_terminals("clustered", g, 2, 2, random.Random(3))
+        dist = g.all_pairs_distances()
+        diameter = g.weighted_diameter()
+        for component in inst.components.values():
+            u, v = sorted(component, key=repr)
+            assert dist[u][v] <= diameter  # sanity
+        # Intra-component distances are no larger than the far-pairs ones.
+        far = place_terminals("far_pairs", g, 2, 2, random.Random(3))
+        near_max = max(
+            dist[min(c, key=repr)][max(c, key=repr)]
+            for c in inst.components.values()
+        )
+        far_max = max(
+            dist[min(c, key=repr)][max(c, key=repr)]
+            for c in far.components.values()
+        )
+        assert near_max <= far_max
+
+    def test_far_pairs_anchor_on_weighted_farthest(self):
+        g = self._graph()
+        dist = g.all_pairs_distances()
+        inst = place_terminals("far_pairs", g, 1, 2, random.Random(4))
+        (component,) = inst.components.values()
+        u, v = sorted(component, key=repr)
+        # The pair realizes the maximum distance from one of its endpoints.
+        assert dist[u][v] in (max(dist[u].values()), max(dist[v].values()))
+
+    def test_hub_spoke_touches_the_hub_neighborhood(self):
+        g = self._graph()
+        hub = max(g.nodes, key=lambda v: (g.degree(v), repr(v)))
+        inst = place_terminals("hub_spoke", g, 2, 2, random.Random(5))
+        terminals = inst.terminals
+        assert hub in terminals  # the hub itself seeds the first component
+
+
 class TestInstanceGenerators:
     def test_terminals_disjoint(self):
         g = random_connected_graph(20, 0.3, random.Random(5))
@@ -59,6 +185,38 @@ class TestInstanceGenerators:
         g = random_connected_graph(6, 0.5, random.Random(0))
         with pytest.raises(ValueError):
             terminals_on_graph(g, 4, 2, random.Random(0))
+
+    def test_overfull_pair_request_names_the_numbers(self):
+        # Regression: asking for more disjoint terminal pairs than the
+        # graph has nodes for must raise immediately with the arithmetic
+        # spelled out — never hang hunting for free nodes or silently
+        # reuse one across components.
+        g = random_connected_graph(7, 0.5, random.Random(1))
+        with pytest.raises(ValueError, match="8 distinct terminals"):
+            terminals_on_graph(g, 4, 2, random.Random(1))
+
+    @pytest.mark.parametrize(
+        "k,component_size,message",
+        [
+            (0, 2, "at least one input component"),
+            (-1, 2, "at least one input component"),
+            (2, 0, "at least one terminal"),
+            (2, -3, "at least one terminal"),
+        ],
+    )
+    def test_degenerate_requests_rejected_not_silently_shrunk(
+        self, k, component_size, message
+    ):
+        # Regression: k=0 / component_size=0 used to produce an instance
+        # with silently missing (empty) components instead of erroring.
+        g = random_connected_graph(8, 0.5, random.Random(2))
+        with pytest.raises(ValueError, match=message):
+            terminals_on_graph(g, k, component_size, random.Random(2))
+
+    def test_exactly_full_graph_allowed(self):
+        g = random_connected_graph(8, 0.5, random.Random(3))
+        inst = terminals_on_graph(g, 4, 2, random.Random(3))
+        assert inst.num_terminals == 8
 
     def test_random_instance(self):
         inst = random_instance(18, 3, random.Random(4))
@@ -98,11 +256,20 @@ class TestSeededReproducibility:
             lambda rng: random_geometric_graph(12, 0.01, rng),  # fallback
             lambda rng: grid_graph(3, 4, rng),
             lambda rng: ring_of_blobs(3, 4, rng),
+            lambda rng: powerlaw_graph(16, 2, rng),
+            lambda rng: smallworld_graph(16, 4, 0.3, rng),
+            lambda rng: random_regular_graph(14, 3, rng),
+            lambda rng: torus_graph(3, 5, rng),
+            lambda rng: caterpillar_graph(4, 2, rng),
+            lambda rng: broom_graph(5, 3, rng),
+            lambda rng: clustered_geometric_graph(16, 3, rng),
         ],
         ids=[
             "gnp", "gnp-compose-fallback",
             "geometric", "geometric-compose-fallback",
             "grid", "ring-of-blobs",
+            "powerlaw", "smallworld", "regular", "torus",
+            "caterpillar", "broom", "cluster-geo",
         ],
     )
     def test_graph_family_reproducible(self, build):
