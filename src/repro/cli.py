@@ -14,6 +14,8 @@ Commands:
 * ``suite`` — list, inspect, or run curated scenario suites (``smoke``,
   ``adversity``, ``scaling``, ``nightly``) through the same engine.
 * ``report`` — aggregate a result store into per-scenario tables.
+* ``profile`` — run one registered scenario with phase-level profiling
+  and print a flame-style per-phase rounds/messages/wall-time report.
 
 The algorithm table lives in :mod:`repro.engine.algorithms`, shared with
 the experiment engine and the benchmarks.
@@ -48,6 +50,7 @@ from repro.lowerbounds import (
     random_disjointness_sets,
 )
 from repro.netmodel import NETWORK_MODELS, normalize_network
+from repro.perf import render_profile_report
 from repro.simbackend import BACKENDS, normalize_backend
 from repro.workloads import TERMINAL_PLACEMENTS, random_instance
 
@@ -187,6 +190,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(suite)
 
+    profile = sub.add_parser(
+        "profile",
+        help="profile a scenario's pipeline per phase (flame-style report)",
+    )
+    profile.add_argument(
+        "--scenario",
+        default="grid-rounds",
+        metavar="NAME",
+        help="registered scenario to profile (default: grid-rounds, the "
+        "paper-pipeline Section 4.1 vs 4.2 workload)",
+    )
+    profile.add_argument(
+        "--algorithm",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to a subset of the scenario's algorithms (repeatable)",
+    )
+    _add_engine_options(profile)
+
     report = sub.add_parser("report", help="aggregate a result store")
     report.add_argument("--store", default=DEFAULT_STORE)
     report.add_argument(
@@ -307,21 +330,33 @@ def _cmd_gadget(args) -> int:
     return 0 if ok else 1
 
 
-def _run_engine(args, specs: List[ScenarioSpec]) -> int:
+def _apply_axis_overrides(
+    args, specs: List[ScenarioSpec]
+) -> Optional[List[ScenarioSpec]]:
+    """Apply ``--network`` / ``--backend`` overrides; None on bad input
+    (the error is printed to stderr)."""
     if args.network:
         try:
             networks = [parse_network_arg(text) for text in args.network]
             specs = [replace(spec, network=networks) for spec in specs]
         except (ValueError, KeyError, json.JSONDecodeError) as exc:
             print(f"error: invalid --network: {exc}", file=sys.stderr)
-            return 2
+            return None
     if args.backend:
         try:
             backends = [parse_backend_arg(text) for text in args.backend]
             specs = [replace(spec, backend=backends) for spec in specs]
         except (ValueError, KeyError, json.JSONDecodeError) as exc:
             print(f"error: invalid --backend: {exc}", file=sys.stderr)
-            return 2
+            return None
+    return specs
+
+
+def _run_engine(args, specs: List[ScenarioSpec]) -> int:
+    overridden = _apply_axis_overrides(args, specs)
+    if overridden is None:
+        return 2
+    specs = overridden
     store = None if args.no_store else ResultStore(args.store)
     all_stats = run_suite(
         specs,
@@ -421,6 +456,46 @@ def _cmd_suite(args) -> int:
     return _run_engine(args, specs)
 
 
+def _cmd_profile(args) -> int:
+    try:
+        spec = REGISTRY.get(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.algorithm:
+        unknown = [a for a in args.algorithm if a not in spec.algorithms]
+        if unknown:
+            print(
+                f"error: scenario {spec.name!r} does not run {unknown}; "
+                f"choose from {list(spec.algorithms)}",
+                file=sys.stderr,
+            )
+            return 2
+        spec = replace(spec, algorithms=tuple(args.algorithm))
+    # Profiled jobs hash to their own cache keys, so a profile run never
+    # collides with (or poisons) unprofiled sweep results in the store —
+    # and re-profiling an unchanged scenario is absorbed by the cache.
+    spec = replace(spec, profile=True)
+    specs = _apply_axis_overrides(args, [spec])
+    if specs is None:
+        return 2
+    store = None if args.no_store else ResultStore(args.store)
+    # Unlike sweep/batch, profiling defaults to in-process execution:
+    # the report's wall-time column is the whole point, and a saturated
+    # worker pool would measure scheduler contention instead of the
+    # pipeline. --workers N is the explicit opt-in to parallelism.
+    all_stats = run_suite(
+        specs,
+        store=store,
+        max_workers=args.workers,
+        parallel=args.workers is not None and not args.serial,
+        log=stderr_log,
+    )
+    records = [record for stats in all_stats for record in stats.records]
+    print(render_profile_report(records))
+    return 0
+
+
 def _cmd_report(args) -> int:
     store = ResultStore(args.store)
     records = store.select(
@@ -442,6 +517,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": _cmd_sweep,
         "batch": _cmd_batch,
         "suite": _cmd_suite,
+        "profile": _cmd_profile,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -90,6 +90,11 @@ def bellman_ford(
             — the footnote-2 "run for √n iterations" device.
 
     Returns a :class:`BellmanFordResult`.
+
+    A :class:`~repro.perf.FastCongestRun` engages the compiled fast
+    branch (cached neighbor tuples, memoized ``repr`` keys, batched
+    ledger charging); distances, tags, parents, iterations, and the
+    ledger end state are identical either way (tests/test_perf.py).
     """
     if edge_weight is None:
         edge_weight = graph.weight
@@ -108,36 +113,61 @@ def bellman_ford(
     # (Lemma 4.8: "the old trees are not touched, but simply extended").
     immutable = frozenset(sources)
 
+    compiled = getattr(run, "compiled", None)
     changed: Set[Node] = set(sources)
     iterations = 0
     while changed:
         if max_iterations is not None and iterations >= max_iterations:
             return BellmanFordResult(dist, tag, parent, iterations, False)
         iterations += 1
-        traffic: Dict[Tuple[Node, Node], int] = {}
         updates: Dict[Node, Tuple[Number, str, str, Tag, Node]] = {}
-        for u in sorted(changed, key=repr):
-            for v in graph.neighbors(u):
-                traffic[(u, v)] = 1
-                if v in blocked or v in immutable:
-                    continue
-                w = edge_weight(u, v)
-                cand_dist = dist[u] + w
-                cand_key = (cand_dist, repr(tag[u]), repr(u), tag[u], u)
-                current = updates.get(v)
-                if current is None or cand_key[:3] < current[:3]:
-                    updates[v] = cand_key
-        run.tick(traffic)
+        if compiled is not None:
+            reprs = compiled.repr_of
+            tag_repr = compiled.tag_repr
+            neighbors = compiled.neighbors
+            announcers = sorted(changed, key=reprs.__getitem__)
+            for u in announcers:
+                du = dist[u]
+                tu = tag[u]
+                tu_repr = tag_repr(tu)
+                u_repr = reprs[u]
+                for v in neighbors[u]:
+                    if v in blocked or v in immutable:
+                        continue
+                    cand_dist = du + edge_weight(u, v)
+                    current = updates.get(v)
+                    if current is None or (cand_dist, tu_repr, u_repr) < current[:3]:
+                        updates[v] = (cand_dist, tu_repr, u_repr, tu, u)
+            run.tick()
+            out_counter = compiled.out_counter
+            degree = compiled.degree
+            for u in announcers:
+                run.charge_counter(out_counter[u], degree[u])
+        else:
+            traffic: Dict[Tuple[Node, Node], int] = {}
+            for u in sorted(changed, key=repr):
+                for v in graph.neighbors(u):
+                    traffic[(u, v)] = 1
+                    if v in blocked or v in immutable:
+                        continue
+                    w = edge_weight(u, v)
+                    cand_dist = dist[u] + w
+                    cand_key = (cand_dist, repr(tag[u]), repr(u), tag[u], u)
+                    current = updates.get(v)
+                    if current is None or cand_key[:3] < current[:3]:
+                        updates[v] = cand_key
+            run.tick(traffic)
         changed = set()
-        for v, (cand_dist, tag_repr, _, new_tag, new_parent) in (
+        cur_tag_repr = compiled.tag_repr if compiled is not None else repr
+        for v, (cand_dist, new_tag_repr, _, new_tag, new_parent) in (
             updates.items()
         ):
             if v in dist:
                 # Strictly smaller (dist, tag) only — comparing the parent
                 # as well would let equal-distance updates flip parents
                 # forever across zero-weight (fully covered) edges.
-                cur_key = (dist[v], repr(tag[v]))
-                if (cand_dist, tag_repr) >= cur_key:
+                cur_key = (dist[v], cur_tag_repr(tag[v]))
+                if (cand_dist, new_tag_repr) >= cur_key:
                     continue
             dist[v] = cand_dist
             tag[v] = new_tag

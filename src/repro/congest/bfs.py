@@ -76,6 +76,11 @@ def build_bfs_tree(
     sends a "join me" message to all neighbors; an unjoined node picks the
     smallest-identifier sender as its parent. Two extra quiet rounds model
     local termination detection at the frontier.
+
+    A :class:`~repro.perf.FastCongestRun` engages the compiled fast
+    branch (cached neighbor tuples and ``repr`` keys, batched ledger
+    charging); the execution — parents, depths, rounds, per-edge
+    traffic — is identical either way (pinned in tests/test_perf.py).
     """
     if root is None:
         root = default_root(graph)
@@ -83,10 +88,34 @@ def build_bfs_tree(
     depth_of: Dict[Node, int] = {root: 0}
     frontier: List[Node] = [root]
     depth = 0
+    compiled = getattr(run, "compiled", None)
+    if compiled is not None:
+        reprs = compiled.repr_of
+        neighbors = compiled.neighbors
+        out_counter = compiled.out_counter
+        degree = compiled.degree
+        while frontier:
+            depth += 1
+            proposals: Dict[Node, List[Node]] = {}
+            for u in frontier:
+                for v in neighbors[u]:
+                    if v not in parent:
+                        proposals.setdefault(v, []).append(u)
+            run.tick()
+            for u in frontier:
+                run.charge_counter(out_counter[u], degree[u])
+            frontier = []
+            for v, candidates in sorted(
+                proposals.items(), key=lambda kv: reprs[kv[0]]
+            ):
+                parent[v] = min(candidates, key=reprs.__getitem__)
+                depth_of[v] = depth
+                frontier.append(v)
+        return BFSTree(root, parent, depth_of)
     while frontier:
         depth += 1
         traffic: Dict[Tuple[Node, Node], int] = {}
-        proposals: Dict[Node, List[Node]] = {}
+        proposals = {}
         for u in frontier:
             for v in graph.neighbors(u):
                 traffic[(u, v)] = 1

@@ -10,13 +10,32 @@ graph cut (the Alice–Bob cut of the Section 3 lower-bound gadgets).
 
 import math
 from collections import Counter
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.exceptions import CongestViolationError, SimulationError
 from repro.model.graph import Edge, Node, WeightedGraph, canonical_edge
 
 #: A directed message count: (sender, receiver) -> number of messages.
 DirectedTraffic = Mapping[Tuple[Node, Node], int]
+
+
+def non_edge_violation(sender: Node, receiver: Node) -> CongestViolationError:
+    """The canonical non-edge traffic error (shared with the fast
+    ledger in :mod:`repro.perf.fastpath` so the wording cannot drift)."""
+    return CongestViolationError(
+        f"message over non-edge ({sender!r}, {receiver!r})"
+    )
+
+
+def per_direction_violation(
+    count: int, sender: Node, receiver: Node
+) -> CongestViolationError:
+    """The canonical CONGEST per-direction bound error (shared with the
+    fast ledger)."""
+    return CongestViolationError(
+        f"{count} messages from {sender!r} to {receiver!r} "
+        "in one round (CONGEST allows 1)"
+    )
 
 
 class CongestRun:
@@ -47,6 +66,12 @@ class CongestRun:
         self.edge_messages: Counter = Counter()
         self.phase_rounds: Dict[str, int] = {}
         self._phase: Optional[str] = None
+        #: Optional :class:`repro.perf.PhaseProfiler` observing this run
+        #: (attach via ``profiler.attach(run)``). When None — the default
+        #: — charging pays exactly one attribute check and nothing else,
+        #: so profiling-off executions are byte-identical to pre-profiler
+        #: ones (pinned by tests/test_perf.py).
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Phases (for per-step round breakdowns in experiments)
@@ -55,16 +80,32 @@ class CongestRun:
     def set_phase(self, name: Optional[str]) -> None:
         """Attribute subsequently charged rounds to ``name``."""
         self._phase = name
+        if self.profiler is not None:
+            self.profiler.switch_phase(name)
 
     def _attribute(self, rounds: int) -> None:
         if self._phase is not None:
             self.phase_rounds[self._phase] = (
                 self.phase_rounds.get(self._phase, 0) + rounds
             )
+        if self.profiler is not None:
+            self.profiler.add_rounds(rounds)
 
     # ------------------------------------------------------------------
     # Charging
     # ------------------------------------------------------------------
+
+    def _advance_round(self) -> None:
+        """Shared round preamble: count the round, attribute it (phase +
+        profiler), enforce ``max_rounds``. Used by both this ledger and
+        the compiled fast ledger so the bookkeeping cannot diverge."""
+        self.rounds += 1
+        self._attribute(1)
+        if self.rounds > self.max_rounds:
+            raise SimulationError(
+                f"exceeded max_rounds={self.max_rounds}; "
+                "the algorithm appears not to terminate"
+            )
 
     def tick(self, traffic: Optional[DirectedTraffic] = None) -> None:
         """Advance one synchronous round, delivering ``traffic`` messages.
@@ -73,28 +114,21 @@ class CongestRun:
         counts; each count must be ≤ 1 per the CONGEST model, and the pair
         must be an edge of the graph.
         """
-        self.rounds += 1
-        self._attribute(1)
-        if self.rounds > self.max_rounds:
-            raise SimulationError(
-                f"exceeded max_rounds={self.max_rounds}; "
-                "the algorithm appears not to terminate"
-            )
+        self._advance_round()
         if traffic:
+            charged = 0
             for (sender, receiver), count in traffic.items():
                 if count == 0:
                     continue
                 if not self.graph.has_edge(sender, receiver):
-                    raise CongestViolationError(
-                        f"message over non-edge ({sender!r}, {receiver!r})"
-                    )
+                    raise non_edge_violation(sender, receiver)
                 if count > 1:
-                    raise CongestViolationError(
-                        f"{count} messages from {sender!r} to {receiver!r} "
-                        "in one round (CONGEST allows 1)"
-                    )
+                    raise per_direction_violation(count, sender, receiver)
                 self.messages += count
                 self.edge_messages[canonical_edge(sender, receiver)] += count
+                charged += count
+            if self.profiler is not None and charged:
+                self.profiler.add_messages(charged)
 
     def charge_messages(self, canonical_edges: Iterable[Edge]) -> None:
         """Batch-charge pre-validated traffic for the current round.
@@ -112,6 +146,26 @@ class CongestRun:
             self.edge_messages[edge] += 1
             count += 1
         self.messages += count
+        if self.profiler is not None and count:
+            self.profiler.add_messages(count)
+
+    def charge_counter(self, counter: Mapping[Edge, int], count: int) -> None:
+        """Batch-charge a precompiled canonical-edge multiset for the
+        current round.
+
+        ``counter`` maps canonical graph edges to per-edge message
+        counts summing to ``count``; like :meth:`charge_messages` the
+        caller (the :mod:`repro.perf.fastpath` compiled topology)
+        guarantees the CONGEST per-direction bound structurally, so the
+        ledger applies the whole delta in one C-speed ``Counter.update``
+        instead of one Python-level check per message. End state is
+        identical to ``tick(traffic)`` with the equivalent directed
+        traffic.
+        """
+        self.edge_messages.update(counter)
+        self.messages += count
+        if self.profiler is not None and count:
+            self.profiler.add_messages(count)
 
     def charge_rounds(self, rounds: int, reason: str = "") -> None:
         """Analytically charge ``rounds`` rounds without per-edge traffic.

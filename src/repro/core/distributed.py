@@ -56,6 +56,7 @@ from repro.exceptions import SimulationError
 from repro.model.graph import Edge, Node, canonical_edge
 from repro.model.instance import SteinerForestInstance
 from repro.model.solution import ForestSolution
+from repro.perf.profiler import maybe_span
 from repro.util import UnionFind
 
 
@@ -211,6 +212,10 @@ def distributed_moat_growing(
     graph = instance.graph
     if run is None:
         run = CongestRun(graph)
+    # The compiled-ledger fast path (repro.perf.fastpath): identical
+    # execution, precompiled charging and memoized per-phase geometry.
+    compiled = getattr(run, "compiled", None)
+    profiler = getattr(run, "profiler", None)
 
     # ------------------------------------------------------------------
     # Step 1: BFS tree; make (v, λ(v)) global knowledge. O(D + t) rounds.
@@ -263,6 +268,22 @@ def distributed_moat_growing(
                     cov += min(w, lo)
             return max(Fraction(0), w - cov)
 
+        if compiled is not None:
+            # Ŵ_j is fixed within the phase (leftover only changes at
+            # phase end), so each directed edge's reduced weight is
+            # computed once instead of once per relaxation round.
+            rw_cache: Dict[Tuple[Node, Node], Fraction] = {}
+            plain_reduced_weight = reduced_weight
+
+            def reduced_weight(x: Node, y: Node) -> Fraction:
+                value = rw_cache.get((x, y))
+                if value is None:
+                    # Ŵ_j is symmetric in the endpoints: fill both
+                    # directions from one computation.
+                    value = plain_reduced_weight(x, y)
+                    rw_cache[(x, y)] = rw_cache[(y, x)] = value
+                return value
+
         sources = {}
         blocked: Set[Node] = set()
         for x, own in owner.items():
@@ -272,9 +293,10 @@ def distributed_moat_growing(
                 sources[x] = (Fraction(0), own)
             else:
                 blocked.add(x)
-        bf = bellman_ford(
-            graph, sources, run, edge_weight=reduced_weight, blocked=blocked
-        )
+        with maybe_span(profiler, "bellman-ford"):
+            bf = bellman_ford(
+                graph, sources, run, edge_weight=reduced_weight, blocked=blocked
+            )
 
         # Phase-local overlay: tree owner / reduced distance / parent.
         tree_owner: Dict[Node, Optional[Node]] = dict(owner)
@@ -290,6 +312,18 @@ def distributed_moat_growing(
             lo = leftover.get(x, Fraction(0))
             return tree_dist.get(x, Fraction(0)) - lo
 
+        if compiled is not None:
+            # ψ is fixed for the rest of the phase; each endpoint of a
+            # cross-tree edge queries it once instead of per direction.
+            psi_cache: Dict[Node, Fraction] = {}
+            plain_psi = psi
+
+            def psi(x: Node) -> Fraction:
+                value = psi_cache.get(x)
+                if value is None:
+                    value = psi_cache[x] = plain_psi(x)
+                return value
+
         def path_to_owner(x: Node) -> List[Node]:
             chain = [x]
             while tree_parent[chain[-1]] is not None:
@@ -300,34 +334,73 @@ def distributed_moat_growing(
         # Step (b): one round of owner exchange, then local candidate
         # construction for cross-tree edges.
         # --------------------------------------------------------------
-        run.tick({
-            (x, y): 1 for x in graph.nodes for y in graph.neighbors(x)
-        })
+        if compiled is not None:
+            run.tick()
+            run.charge_counter(compiled.full_counter, compiled.num_directed)
+        else:
+            run.tick({
+                (x, y): 1 for x in graph.nodes for y in graph.neighbors(x)
+            })
         local_candidates: Dict[Node, List[MergeItem]] = {
             v: [] for v in graph.nodes
         }
-        for x, y, w in graph.edges():
+        if compiled is not None:
+            # Activity is constant during candidate construction, and
+            # the compiled topology memoizes node/edge reprs and the
+            # directed-pair → canonical-edge map.
+            reprs = compiled.repr_of
+            canon = compiled.canon
+            edge_repr = compiled.edge_repr
+            active_memo: Dict[Node, bool] = {}
+
+            def is_active(owner_terminal: Node) -> bool:
+                value = active_memo.get(owner_terminal)
+                if value is None:
+                    value = active_memo[owner_terminal] = state.is_active(
+                        owner_terminal
+                    )
+                return value
+
+            edge_iter = compiled.undirected_edges
+        else:
+            is_active = state.is_active
+            edge_iter = graph.edges()
+        for x, y, w in edge_iter:
             ox, oy = tree_owner.get(x), tree_owner.get(y)
             if ox is None or oy is None or ox == oy:
                 continue
             for a, b in ((x, y), (y, x)):
                 oa, ob = tree_owner[a], tree_owner[b]
-                if not state.is_active(oa):
+                if not is_active(oa):
                     continue  # Definition 4.11 requires the active side
-                if state.is_active(ob):
+                if is_active(ob):
                     mu = (Fraction(w) + psi(a) + psi(b)) / 2
                 else:
                     mu = Fraction(w) + psi(a) - leftover.get(b, Fraction(0))
-                item = MergeItem(
-                    key=(
-                        mu,
-                        tuple(sorted((repr(oa), repr(ob)))),
-                        repr(canonical_edge(a, b)),
-                    ),
-                    a=oa,
-                    b=ob,
-                    payload=(canonical_edge(a, b), a, b),
-                )
+                if compiled is not None:
+                    ra, rb = reprs[oa], reprs[ob]
+                    edge = canon[(a, b)]
+                    item = MergeItem(
+                        key=(
+                            mu,
+                            (ra, rb) if ra <= rb else (rb, ra),
+                            edge_repr(edge),
+                        ),
+                        a=oa,
+                        b=ob,
+                        payload=(edge, a, b),
+                    )
+                else:
+                    item = MergeItem(
+                        key=(
+                            mu,
+                            tuple(sorted((repr(oa), repr(ob)))),
+                            repr(canonical_edge(a, b)),
+                        ),
+                        a=oa,
+                        b=ob,
+                        payload=(canonical_edge(a, b), a, b),
+                    )
                 local_candidates[a].append(item)
 
         # --------------------------------------------------------------

@@ -25,11 +25,12 @@ benchmarks use it to verify the 2-approximation without exact solvers.
 """
 
 from fractions import Fraction
-from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
 from repro.model.graph import Edge, Node, canonical_edge
 from repro.model.instance import SteinerForestInstance
 from repro.model.solution import ForestSolution
+from repro.perf.profiler import maybe_span
 from repro.util import UnionFind
 
 
@@ -281,37 +282,50 @@ class _MoatSystem:
             self.active[r] = label_count[self.label[r]] >= 2
 
 
-def moat_growing(instance: SteinerForestInstance) -> MoatGrowingResult:
-    """Run Algorithm 1 and return the 2-approximate Steiner forest."""
-    system = _MoatSystem(instance)
+def moat_growing(
+    instance: SteinerForestInstance, profiler: Optional[Any] = None
+) -> MoatGrowingResult:
+    """Run Algorithm 1 and return the 2-approximate Steiner forest.
+
+    Args:
+        instance: the DSF-IC instance.
+        profiler: optional :class:`repro.perf.PhaseProfiler`; the
+            centralized algorithm has no CONGEST ledger, so its phases
+            are wall-time spans — the all-pairs preprocessing, the
+            grow/merge event loop, and the minimal-subforest extraction.
+    """
+    with maybe_span(profiler, "moat/apsp-setup"):
+        system = _MoatSystem(instance)
     events: List[MergeEvent] = []
     index = 0
-    while system.has_active():
-        event = system.next_event()
-        assert event is not None, (
-            "an active moat exists, so its label occurs in another moat "
-            "and a future merge event must exist"
-        )
-        mu, v, w = event
-        index += 1
-        active_count = system.active_moat_count()
-        before = system.activity_snapshot()
-        system.grow(mu)
-        path, added = system.emit_path(v, w)
-        system.merge(v, w, always_active=False)
-        after = system.activity_snapshot()
-        events.append(
-            MergeEvent(
-                index=index,
-                mu=mu,
-                v=v,
-                w=w,
-                path=path,
-                added_edges=added,
-                active_moats=active_count,
-                phase_boundary=(before != after),
+    with maybe_span(profiler, "moat/event-loop"):
+        while system.has_active():
+            event = system.next_event()
+            assert event is not None, (
+                "an active moat exists, so its label occurs in another moat "
+                "and a future merge event must exist"
             )
+            mu, v, w = event
+            index += 1
+            active_count = system.active_moat_count()
+            before = system.activity_snapshot()
+            system.grow(mu)
+            path, added = system.emit_path(v, w)
+            system.merge(v, w, always_active=False)
+            after = system.activity_snapshot()
+            events.append(
+                MergeEvent(
+                    index=index,
+                    mu=mu,
+                    v=v,
+                    w=w,
+                    path=path,
+                    added_edges=added,
+                    active_moats=active_count,
+                    phase_boundary=(before != after),
+                )
+            )
+    with maybe_span(profiler, "moat/minimal-subforest"):
+        return MoatGrowingResult(
+            instance, frozenset(system.forest_edges), events, dict(system.rad)
         )
-    return MoatGrowingResult(
-        instance, frozenset(system.forest_edges), events, dict(system.rad)
-    )

@@ -32,6 +32,7 @@ from repro.core.matching import maximal_matching_from_proposals
 from repro.model.graph import Edge, Node, canonical_edge
 from repro.model.instance import SteinerForestInstance
 from repro.model.solution import ForestSolution
+from repro.perf.profiler import maybe_span
 from repro.util import UnionFind
 
 
@@ -184,7 +185,8 @@ def fast_pruning(
             )
             num_clusters += 1
             continue
-        leader, iterations = _grow_clusters(component, adjacency, sigma)
+        with maybe_span(getattr(run, "profiler", None), "cluster-growing"):
+            leader, iterations = _grow_clusters(component, adjacency, sigma)
         clusters = {leader[v] for v in component}
         num_clusters += len(clusters)
         run.charge_rounds(
@@ -217,9 +219,10 @@ def fast_pruning(
     # feasible subforest; compute it and cross-check the cluster-level
     # selection rule (an inter-cluster edge survives iff some label has
     # terminals on both of its sides within the tree — Lemma F.9).
-    solution = forest.minimal_subforest(instance)
-    if len(forest.edges) <= 200:  # the check is quadratic in |F|
-        _check_cluster_selection(instance, forest, solution)
+    with maybe_span(getattr(run, "profiler", None), "minimal-subforest"):
+        solution = forest.minimal_subforest(instance)
+        if len(forest.edges) <= 200:  # the check is quadratic in |F|
+            _check_cluster_selection(instance, forest, solution)
     return PruningResult(solution, run, num_clusters, sigma)
 
 

@@ -26,6 +26,16 @@ Scenario specs carry a **network axis** (:mod:`repro.netmodel`) and a
 product of graph family × algorithm × network condition × execution
 engine, and every non-default condition/engine hashes to its own
 result-store cache key (the clean defaults keep earlier-schema keys).
+For the run-accepting solvers the backend additionally selects the
+ledger engine (:func:`repro.perf.make_ledger_run`) — wall time changes,
+results never do — and a spec's ``profile`` flag rides a
+:class:`repro.perf.PhaseProfiler` along, landing per-phase breakdowns
+on the records (schema v5).
+
+**Invariant: cache keys are append-only.** Every axis added to
+:class:`Job` omits its default value from the identity hash, so rows
+written by any earlier schema keep satisfying today's default-valued
+jobs; breaking this silently cold-starts every existing store.
 """
 
 from repro.engine.algorithms import ALGORITHMS, AlgorithmSpec

@@ -47,6 +47,14 @@ class AlgorithmSpec(NamedTuple):
         randomized: whether the result depends on the supplied rng.
         extra_metrics: optional ``result -> dict`` hook contributing
             algorithm-specific columns to job records.
+        accepts_run: the adapter takes a ``run=`` keyword — the solver
+            charges a caller-supplied :class:`~repro.congest.run.
+            CongestRun`, which is how the engine threads the ledger-level
+            backend fast path (:func:`repro.perf.make_ledger_run`) and
+            the phase profiler into the paper's pipeline.
+        accepts_profiler: the adapter takes a ``profiler=`` keyword —
+            for centralized solvers with no ledger, profiled via
+            wall-time spans.
         description: one-line summary for ``--list`` output.
     """
 
@@ -54,27 +62,39 @@ class AlgorithmSpec(NamedTuple):
     run: Callable[..., Any]
     randomized: bool = False
     extra_metrics: Optional[Callable[[Any], Dict[str, Any]]] = None
+    accepts_run: bool = False
+    accepts_profiler: bool = False
     description: str = ""
 
 
-def _run_moat(inst: SteinerForestInstance, rng: random.Random) -> Any:
-    return moat_growing(inst)
+def _run_moat(
+    inst: SteinerForestInstance, rng: random.Random, profiler: Any = None
+) -> Any:
+    return moat_growing(inst, profiler=profiler)
 
 
 def _run_rounded(
-    inst: SteinerForestInstance, rng: random.Random, eps: EpsParam = "1/2"
+    inst: SteinerForestInstance,
+    rng: random.Random,
+    eps: EpsParam = "1/2",
+    profiler: Any = None,
 ) -> Any:
-    return rounded_moat_growing(inst, _eps(eps))
+    return rounded_moat_growing(inst, _eps(eps), profiler=profiler)
 
 
-def _run_distributed(inst: SteinerForestInstance, rng: random.Random) -> Any:
-    return distributed_moat_growing(inst)
+def _run_distributed(
+    inst: SteinerForestInstance, rng: random.Random, run: Any = None
+) -> Any:
+    return distributed_moat_growing(inst, run=run)
 
 
 def _run_sublinear(
-    inst: SteinerForestInstance, rng: random.Random, eps: EpsParam = "1/2"
+    inst: SteinerForestInstance,
+    rng: random.Random,
+    eps: EpsParam = "1/2",
+    run: Any = None,
 ) -> Any:
-    return sublinear_moat_growing(inst, _eps(eps))
+    return sublinear_moat_growing(inst, _eps(eps), run=run)
 
 
 def _run_randomized(inst: SteinerForestInstance, rng: random.Random) -> Any:
@@ -95,6 +115,7 @@ ALGORITHMS: Mapping[str, AlgorithmSpec] = {
         AlgorithmSpec(
             "moat",
             _run_moat,
+            accepts_profiler=True,
             description="centralized Algorithm 1 (2-approx, Theorem 4.1)",
         ),
         AlgorithmSpec(
@@ -103,16 +124,19 @@ ALGORITHMS: Mapping[str, AlgorithmSpec] = {
             extra_metrics=lambda result: {
                 "growth_phases": num_growth_phases(result)
             },
+            accepts_profiler=True,
             description="Algorithm 2, rounded radii ((2+ε)-approx)",
         ),
         AlgorithmSpec(
             "distributed",
             _run_distributed,
+            accepts_run=True,
             description="Section 4.1 distributed emulation (O(ks+t) rounds)",
         ),
         AlgorithmSpec(
             "sublinear",
             _run_sublinear,
+            accepts_run=True,
             description="Section 4.2 variant (Õ(sk+√min{st,n}) rounds)",
         ),
         AlgorithmSpec(

@@ -90,6 +90,14 @@ class Job:
             every non-default engine hashes to its own key.
         seed_index: repetition index within the spec.
         exact: whether to compute the exact optimum and ratio.
+        profile: collect a phase-level profile (rounds / messages /
+            wall-time per phase; see :mod:`repro.perf`) on the record.
+            ``False`` — the default — is *omitted* from :meth:`identity`,
+            so unprofiled jobs keep the exact cache keys of schema v1–v4
+            stores; a profiled job hashes to its own key (its record
+            carries the extra ``profile`` payload). Profiling never
+            changes the computation: the algorithm seed ignores the
+            flag, and the test suite pins result equality.
     """
 
     scenario: str
@@ -108,6 +116,7 @@ class Job:
     )
     seed_index: int = 0
     exact: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.placement not in TERMINAL_PLACEMENTS:
@@ -131,6 +140,8 @@ class Job:
             "seed_index": self.seed_index,
             "exact": self.exact,
         }
+        if self.profile:
+            ident["profile"] = True
         if self.placement != DEFAULT_PLACEMENT:
             ident["placement"] = self.placement
         if not is_default_network(self.network):
@@ -162,9 +173,11 @@ class Job:
         return content_hash(self.identity())
 
     def graph_seed(self) -> int:
+        """RNG seed for the graph builder (algorithm-independent)."""
         return derive_seed(self.instance_identity(), "graph")
 
     def placement_seed(self) -> int:
+        """RNG seed for terminal placement (algorithm-independent)."""
         placement = dict(
             self.instance_identity(),
             k=self.k,
@@ -177,20 +190,24 @@ class Job:
         return derive_seed(placement, "placement")
 
     def algorithm_seed(self) -> int:
-        # Deliberately network- and backend-independent: neither the
-        # channel nor the execution engine may change the algorithm's
-        # coin flips, so cross-network/backend comparisons of a
-        # randomized algorithm compare identical executions.
+        """RNG seed for the solver's coin flips."""
+        # Deliberately network-, backend- and profile-independent:
+        # neither the channel, the execution engine, nor observation may
+        # change the algorithm's coin flips, so cross-axis comparisons
+        # of a randomized algorithm compare identical executions.
         ident = self.identity()
         ident.pop("network", None)
         ident.pop("backend", None)
+        ident.pop("profile", None)
         return derive_seed(ident, "algorithm")
 
     def to_dict(self) -> Dict[str, Any]:
+        """The JSON payload sent to pool workers (the identity dict)."""
         return self.identity()
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "Job":
+        """Rebuild a job from a stored identity dict (defaults filled)."""
         return cls(
             scenario=data["scenario"],
             family=data["family"],
@@ -204,6 +221,7 @@ class Job:
             backend=normalize_backend(data.get("backend")),
             seed_index=int(data.get("seed_index", 0)),
             exact=bool(data.get("exact", False)),
+            profile=bool(data.get("profile", False)),
         )
 
 
@@ -245,6 +263,7 @@ def iter_jobs(spec: ScenarioSpec) -> Iterator[Job]:
                                 backend=backend,
                                 seed_index=seed_index,
                                 exact=spec.exact,
+                                profile=spec.profile,
                             )
 
 

@@ -243,6 +243,11 @@ class ScenarioSpec:
         seeds: number of independent repetitions per grid point.
         exact: whether to also compute the exact optimum (exponential
             time — keep instances small) and record the ratio.
+        profile: collect phase-level profiles (see :mod:`repro.perf`)
+            on every job record; the ``repro profile`` subcommand sets
+            this on a copy of a registered scenario. Profiled jobs hash
+            to their own cache keys (the default False is omitted from
+            job identities, so existing stores are untouched).
         description: one-line summary for ``--list`` output.
     """
 
@@ -255,6 +260,7 @@ class ScenarioSpec:
     backend: Any = "reference"
     seeds: int = 3
     exact: bool = False
+    profile: bool = False
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -303,6 +309,7 @@ class ScenarioSpec:
     # -- (de)serialization for spec files and hashing --------------------
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-able spec (the ``batch`` file format; fully round-trips)."""
         return {
             "name": self.name,
             "family": self.family,
@@ -319,11 +326,17 @@ class ScenarioSpec:
             ],
             "seeds": self.seeds,
             "exact": self.exact,
+            "profile": self.profile,
             "description": self.description,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build a spec from a ``batch``-file dict (missing keys default).
+
+        Raises:
+            ValueError: unknown family/algorithm/placement/network/backend.
+        """
         return cls(
             name=data["name"],
             family=data["family"],
@@ -334,6 +347,7 @@ class ScenarioSpec:
             backend=data.get("backend", "reference"),
             seeds=int(data.get("seeds", 3)),
             exact=bool(data.get("exact", False)),
+            profile=bool(data.get("profile", False)),
             description=str(data.get("description", "")),
         )
 
@@ -342,15 +356,18 @@ class ScenarioRegistry:
     """Named scenario specs; the ``sweep`` subcommand runs these."""
 
     def __init__(self) -> None:
+        """An empty registry; populate with :meth:`register`."""
         self._specs: Dict[str, ScenarioSpec] = {}
 
     def register(self, spec: ScenarioSpec) -> ScenarioSpec:
+        """Add a spec under its name; raises ValueError on duplicates."""
         if spec.name in self._specs:
             raise ValueError(f"scenario {spec.name!r} already registered")
         self._specs[spec.name] = spec
         return spec
 
     def get(self, name: str) -> ScenarioSpec:
+        """The spec registered under ``name``; KeyError names the choices."""
         try:
             return self._specs[name]
         except KeyError:
@@ -359,6 +376,7 @@ class ScenarioRegistry:
             ) from None
 
     def names(self) -> List[str]:
+        """All registered scenario names, sorted."""
         return sorted(self._specs)
 
     def specs(self, names: Iterable[str] = ()) -> List[ScenarioSpec]:

@@ -20,6 +20,7 @@ from repro.engine.registry import GRAPH_FAMILIES, ScenarioSpec
 from repro.engine.store import SCHEMA_VERSION, ResultStore
 from repro.model.instance import SteinerForestInstance
 from repro.netmodel import build_network_model
+from repro.perf import PhaseProfiler, make_ledger_run
 from repro.workloads import place_terminals
 
 #: Result attributes promoted to metrics whenever the solver exposes them.
@@ -44,23 +45,54 @@ def build_instance(job: Job) -> SteinerForestInstance:
 def execute_job(job_dict: Mapping[str, Any]) -> Dict[str, Any]:
     """Run one job (worker entry point); returns its JSON-able record.
 
-    The registered solvers are ledger-level (they charge a
-    :class:`~repro.congest.run.CongestRun` directly), so — exactly like
-    the network axis, which only surfaces as ``emulated_rounds`` for
-    them — the job's ``backend`` does not change their computation. The
-    axis exists so message-level executions (node-program scenarios,
-    conformance suites, benchmarks) and future simulator-driven
-    algorithms are cached and reported per engine; sweeping backends
-    over purely ledger-level algorithms just re-runs identical work
-    under distinct cache keys.
+    The job's ``backend`` selects the *ledger engine* for run-accepting
+    solvers (:func:`repro.perf.make_ledger_run`): ``flatarray`` (or a
+    large-instance ``auto``) hands the solver a compiled
+    :class:`~repro.perf.FastCongestRun`, which changes wall time but —
+    by the fast path's conformance pin — nothing observable: weights,
+    rounds, messages, per-edge traffic, and cache-relevant outputs are
+    byte-identical to ``reference``. For message-level executions
+    (node-program scenarios, conformance suites, benchmarks) the axis
+    selects the simulator engine as before. Like the network axis, a
+    non-default backend hashes to its own cache key.
+
+    With ``job.profile`` set, a :class:`~repro.perf.PhaseProfiler`
+    rides along (attached to the ledger for run-accepting solvers, as
+    wall-time spans for centralized ones) and the record gains a
+    ``profile`` field; profiling never changes the computation.
     """
     job = Job.from_dict(job_dict)
     instance = build_instance(job)
     algorithm = ALGORITHMS[job.algorithm]
     rng = random.Random(job.algorithm_seed())
+    kwargs: Dict[str, Any] = dict(job.algo_params)
+    profiler = PhaseProfiler() if job.profile else None
+    ledger = None
+    # Ledger construction is inside the timed window: the flatarray/auto
+    # engines pay their topology compile there, so stored wall_time rows
+    # compare backends end-to-end (same clock placement as
+    # benchmarks/bench_e18_profile.py).
     started = time.perf_counter()
-    result = algorithm.run(instance, rng, **job.algo_params)
+    if algorithm.accepts_run:
+        ledger = make_ledger_run(job.backend, instance.graph)
+        if profiler is not None:
+            profiler.attach(ledger)
+        kwargs["run"] = ledger
+    elif algorithm.accepts_profiler and profiler is not None:
+        kwargs["profiler"] = profiler
+    if (
+        profiler is not None
+        and not algorithm.accepts_run
+        and not algorithm.accepts_profiler
+    ):
+        # No internal instrumentation points: one span for the whole call.
+        with profiler.span("solve"):
+            result = algorithm.run(instance, rng, **kwargs)
+    else:
+        result = algorithm.run(instance, rng, **kwargs)
     wall_time = time.perf_counter() - started
+    if profiler is not None:
+        profiler.finish()
     result.solution.assert_feasible(instance)
 
     metrics: Dict[str, Any] = {
@@ -119,6 +151,10 @@ def execute_job(job_dict: Mapping[str, Any]) -> Dict[str, Any]:
     }
     record["backend_name"] = job.backend["name"]
     record["metrics"] = metrics
+    if profiler is not None:
+        record["profile"] = profiler.to_dict(
+            bandwidth_bits=ledger.bandwidth_bits if ledger is not None else None
+        )
     return record
 
 
@@ -190,6 +226,7 @@ class SweepStats:
 
     @property
     def total(self) -> int:
+        """Total jobs the spec expanded to (executed + cache hits)."""
         return self.executed + self.cached
 
 

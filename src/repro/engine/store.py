@@ -23,12 +23,16 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 #: spec dict) and ``network_model`` (model name, the grouping field).
 #: v3: records additionally carry ``backend`` (canonical spec dict) and
 #: ``backend_name`` (engine name, the grouping field). v4: records
-#: carry ``placement`` (terminal-placement strategy name). Old rows
-#: read back with the defaults filled in — v1 as the clean ``reliable``
+#: carry ``placement`` (terminal-placement strategy name). v5: profiled
+#: jobs carry a ``profile`` field (per-phase rounds / messages / bits /
+#: wall-time, :meth:`repro.perf.PhaseProfiler.to_dict`); unprofiled
+#: records simply lack it, so no upgrade step is needed. Old rows read
+#: back with the defaults filled in — v1 as the clean ``reliable``
 #: channel, v1/v2 as the ``reference`` engine, v1–v3 as ``uniform``
-#: placement — and their cache keys are unchanged (default-valued jobs
-#: hash identically), so old stores keep absorbing re-runs.
-SCHEMA_VERSION = 4
+#: placement, v1–v4 as unprofiled — and their cache keys are unchanged
+#: (default-valued jobs hash identically), so old stores keep absorbing
+#: re-runs.
+SCHEMA_VERSION = 5
 
 _RELIABLE = {"model": "reliable", "params": {}}
 _REFERENCE = {"name": "reference", "params": {}}
@@ -53,6 +57,7 @@ class ResultStore:
     """A persistent store of job records at ``path`` (created on demand)."""
 
     def __init__(self, path: os.PathLike) -> None:
+        """Open (lazily) the store at ``path``; the file may not exist yet."""
         self.path = Path(path)
         self._cache: Optional[List[Dict[str, Any]]] = None
 

@@ -58,6 +58,7 @@ class SuiteSpec:
 
     @property
     def scenario_names(self) -> Tuple[str, ...]:
+        """Member scenario names, in run order."""
         return tuple(spec.name for spec in self.scenarios)
 
     def job_count(self) -> int:
@@ -69,9 +70,11 @@ class SuiteRegistry:
     """Named suites; the ``suite`` subcommand runs these."""
 
     def __init__(self) -> None:
+        """An empty registry; populate with :meth:`register`."""
         self._suites: Dict[str, SuiteSpec] = {}
 
     def register(self, suite: SuiteSpec) -> SuiteSpec:
+        """Add a suite under its name; raises ValueError on duplicates."""
         if suite.name in self._suites:
             raise ValueError(f"suite {suite.name!r} already registered")
         self._suites[suite.name] = suite

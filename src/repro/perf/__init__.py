@@ -1,0 +1,40 @@
+"""Performance subsystem: profiling and the pipeline fast path.
+
+The ROADMAP's north star is a system that "runs as fast as the hardware
+allows"; this package is where the repo measures and then removes the
+cost of the paper's Steiner-forest pipeline:
+
+* :mod:`repro.perf.profiler` — :class:`PhaseProfiler`, the phase-level
+  rounds / messages / bytes / wall-time instrumentation attached to a
+  :class:`~repro.congest.run.CongestRun` (zero effect when detached —
+  results, round counts, and cache keys are pinned byte-identical).
+* :mod:`repro.perf.fastpath` — :class:`CompiledTopology` and
+  :class:`FastCongestRun`, the flat-array ledger engine: the
+  communication primitives detect the compiled topology and take
+  conformance-pinned fast branches (cached neighbor tuples and ``repr``
+  keys, batched Counter charging, incremental sorted buffers).
+  :func:`make_ledger_run` threads the experiment engine's ``--backend``
+  axis (including ``auto``) into the ledger-level solvers.
+* :mod:`repro.perf.report` — the flame-style text report behind the
+  ``repro profile`` subcommand.
+
+The measured speedups live in ``BENCH_profile.json``
+(``benchmarks/bench_e18_profile.py``): the flatarray ledger is ≥ 2× the
+reference ledger on the full distributed pipeline at n ≥ 256, and
+``backend="auto"`` picks the winner per instance size while staying
+byte-identical to reference everywhere.
+"""
+
+from repro.perf.fastpath import CompiledTopology, FastCongestRun, make_ledger_run
+from repro.perf.profiler import PhaseProfiler, PhaseStats, maybe_span
+from repro.perf.report import render_profile_report
+
+__all__ = [
+    "CompiledTopology",
+    "FastCongestRun",
+    "make_ledger_run",
+    "PhaseProfiler",
+    "PhaseStats",
+    "maybe_span",
+    "render_profile_report",
+]

@@ -15,6 +15,17 @@ while the engine that turns the crank is swappable:
 * :mod:`repro.simbackend.sharded` — a multiprocess engine that
   partitions nodes across worker processes with per-round batched IPC,
   so one large instance uses many cores.
+* :mod:`repro.simbackend.auto` — resolves to ``reference`` or
+  ``flatarray`` at bind time from the instance size (the measured
+  crossover), sharing its heuristic with the ledger-level fast path in
+  :mod:`repro.perf`.
+
+**Invariant: reference is the byte-identical ground truth.** Every
+other engine — and the ledger-level fast path the backend axis selects
+for the paper's solvers — must reproduce the reference execution
+exactly (rounds, ledger traffic, network statistics, trace events,
+final program states); the conformance suites pin this and the
+reference loop itself is never optimized.
 
 The experiment engine threads canonical backend specs through scenario
 definitions and job identities exactly like network conditions: the
@@ -23,6 +34,7 @@ stores keep absorbing re-runs), and every other engine hashes to its
 own key.
 """
 
+from repro.simbackend.auto import AUTO_THRESHOLD_NODES, AutoBackend, choose_engine_name
 from repro.simbackend.base import (
     BACKENDS,
     DEFAULT_BACKEND,
@@ -38,8 +50,11 @@ from repro.simbackend.reference import ReferenceBackend
 from repro.simbackend.sharded import ShardedBackend
 
 __all__ = [
+    "AUTO_THRESHOLD_NODES",
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "AutoBackend",
+    "choose_engine_name",
     "Context",
     "SimulationBackend",
     "build_backend",

@@ -51,6 +51,7 @@ class Context:
     """
 
     def __init__(self, simulator: "SimulationBackend", node: Node) -> None:
+        """Bind the view to one node of the engine's graph."""
         self._simulator = simulator
         self.node_id = node
         self.neighbors = simulator.graph.neighbors(node)
@@ -83,6 +84,7 @@ class SimulationBackend:
     name = "abstract"
 
     def __init__(self) -> None:
+        """Engines construct unbound; :meth:`bind` attaches an execution."""
         self.graph: Optional[WeightedGraph] = None
         self.programs: Dict[Node, Any] = {}
         self.run: Any = None
@@ -126,10 +128,12 @@ class SimulationBackend:
 
     @property
     def all_halted(self) -> bool:
+        """Every node has halted (or been removed by the network model)."""
         raise NotImplementedError
 
     @property
     def has_pending(self) -> bool:
+        """Messages queued or in flight."""
         raise NotImplementedError
 
     def start(self) -> None:

@@ -90,6 +90,7 @@ class FlatArrayBackend(SimulationBackend):
         network: NetworkModel,
         trace: Optional[TraceRecorder],
     ) -> None:
+        """Compile the topology to integer-indexed arrays and attach."""
         super().bind(graph, programs, run, network, trace)
         nodes = graph.nodes
         n = len(nodes)
@@ -162,6 +163,7 @@ class FlatArrayBackend(SimulationBackend):
 
     @property
     def all_halted(self) -> bool:
+        """Every node has halted or been removed by the network model."""
         if self._halted_count == len(self._nodes):
             return True
         if not self.network.removes_nodes:
@@ -173,13 +175,16 @@ class FlatArrayBackend(SimulationBackend):
 
     @property
     def has_pending(self) -> bool:
+        """Messages queued (touched edge ids) or in flight."""
         return bool(self._sent) or bool(self._in_flight)
 
     def start(self) -> None:
+        """Run every program's on_start (round 0, local only)."""
         for program, ctx in zip(self._program_list, self._context_list):
             program.on_start(ctx)
 
     def step(self) -> bool:
+        """Execute one synchronous round; returns False when quiescent."""
         if not self.has_pending or self.all_halted:
             return False
         self.round = r = self.round + 1

@@ -37,6 +37,7 @@ class ReferenceBackend(SimulationBackend):
         network: NetworkModel,
         trace: Optional[TraceRecorder],
     ) -> None:
+        """Attach to one execution and build the per-node Contexts."""
         super().bind(graph, programs, run, network, trace)
         self.contexts = {v: Context(self, v) for v in graph.nodes}
         self._outbox: Dict[Tuple[Node, Node], Any] = {}

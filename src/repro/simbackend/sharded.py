@@ -128,6 +128,7 @@ class ShardedBackend(ReferenceBackend):
     name = "sharded"
 
     def __init__(self, num_shards: Optional[int] = None) -> None:
+        """See the class docstring; raises ValueError on num_shards < 1."""
         super().__init__()
         if num_shards is not None and num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -138,6 +139,7 @@ class ShardedBackend(ReferenceBackend):
         self._synced = True
 
     def params(self) -> Dict[str, Any]:
+        """Engine configuration (``num_shards`` hashes into job keys)."""
         return {"num_shards": self.num_shards}
 
     def bind(
@@ -148,6 +150,7 @@ class ShardedBackend(ReferenceBackend):
         network: NetworkModel,
         trace: Optional[TraceRecorder],
     ) -> None:
+        """Attach to one execution (tears down any previous worker pool)."""
         # Rebinding a reused backend instance must not orphan a previous
         # execution's worker pool (close also syncs its final states).
         self.close()
@@ -236,6 +239,7 @@ class ShardedBackend(ReferenceBackend):
         self._synced = True
 
     def close(self) -> None:
+        """Sync final program states back, then stop the worker pool."""
         if not self._conns:
             return
         try:
@@ -260,12 +264,14 @@ class ShardedBackend(ReferenceBackend):
     # -- execution -------------------------------------------------------
 
     def start(self) -> None:
+        """Spawn the shard workers and run every program's on_start."""
         self._ensure_workers()
         for conn in self._conns:
             conn.send(("start",))
         self._absorb(self._gather())
 
     def step(self) -> bool:
+        """One synchronous round; workers run callbacks, parent routes."""
         if not self.has_pending or self.all_halted:
             # Quiescent: reflect final worker states before reporting done.
             self._sync_programs()

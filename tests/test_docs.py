@@ -1,0 +1,79 @@
+"""Documentation gates: links resolve, the CLI reference is complete.
+
+Run by the CI docs job (and tier-1). Two failure modes are caught:
+
+* an intra-repo markdown link in ``docs/`` or ``README.md`` pointing at
+  a file that does not exist (docs rot silently otherwise);
+* a CLI subcommand that exists in the parser but is not documented in
+  ``docs/cli.md`` (new subcommands must ship with reference docs).
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import _build_parser
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(REPO_ROOT.glob("docs/*.md")) + [REPO_ROOT / "README.md"]
+
+#: Markdown inline links: [text](target), skipping images and code spans.
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _intra_repo_links(text):
+    for target in _LINK.findall(text):
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        yield target
+
+
+def test_docs_directory_has_the_required_guides():
+    names = {path.name for path in REPO_ROOT.glob("docs/*.md")}
+    assert {"architecture.md", "paper-map.md", "cli.md"} <= names
+
+
+@pytest.mark.parametrize(
+    "doc", DOC_FILES, ids=[str(p.relative_to(REPO_ROOT)) for p in DOC_FILES]
+)
+def test_intra_repo_links_resolve(doc):
+    text = doc.read_text(encoding="utf-8")
+    missing = []
+    for target in _intra_repo_links(text):
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        resolved = (doc.parent / path).resolve()
+        if not resolved.exists():
+            missing.append(target)
+    assert not missing, (
+        f"{doc.relative_to(REPO_ROOT)} links to missing files: {missing}"
+    )
+
+
+def test_cli_reference_covers_every_subcommand():
+    parser = _build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if hasattr(action, "choices") and action.choices
+    )
+    commands = set(subparsers.choices)
+    assert commands, "CLI has no subcommands?"
+    cli_doc = (REPO_ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+    undocumented = [
+        command
+        for command in sorted(commands)
+        if not re.search(rf"(^|[`\s]){re.escape(command)}([`\s]|$)", cli_doc)
+    ]
+    assert not undocumented, (
+        f"docs/cli.md does not mention subcommands {undocumented}; "
+        "document them (the reference must stay complete)"
+    )
+
+
+def test_readme_links_the_docs_layer():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for guide in ("docs/architecture.md", "docs/paper-map.md", "docs/cli.md"):
+        assert guide in readme, f"README does not link {guide}"

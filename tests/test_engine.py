@@ -609,7 +609,7 @@ class TestStoreSchemaMigration:
             "reliable", "lossy",
         ]
         # Unstamped appends get the current (bumped) schema version.
-        assert [r["schema"] for r in reread.records()] == [1, 4]
+        assert [r["schema"] for r in reread.records()] == [1, 5]
         assert [r["key"] for r in reread.select(network="lossy")] == ["v2-row"]
         assert [r["key"] for r in reread.select(network="reliable")] == [
             "v1-row"

@@ -61,7 +61,7 @@ class TestSpecNormalization:
             normalize_backend(42)
 
     def test_registry_covers_all_builtins(self):
-        assert set(BACKENDS) == {"reference", "flatarray", "sharded"}
+        assert set(BACKENDS) == {"reference", "flatarray", "sharded", "auto"}
         for name, cls in BACKENDS.items():
             assert issubclass(cls, SimulationBackend)
             assert cls.name == name

@@ -22,7 +22,22 @@ from repro.congest.simulator import (
 )
 from repro.engine.registry import GRAPH_FAMILIES
 from repro.netmodel import TraceRecorder
-from repro.simbackend import ShardedBackend
+from repro.simbackend import AutoBackend, ShardedBackend
+
+
+def _engine_for(backend):
+    """Instantiate the matrix engines that need construction parameters.
+
+    ``auto`` is forced to its flat-array choice (threshold=1): at these
+    graph sizes the default heuristic would pick reference and the case
+    would only re-test the baseline against itself. The default-choice
+    path is covered by tests/test_perf.py.
+    """
+    if backend == "sharded":
+        return ShardedBackend(num_shards=2)
+    if backend == "auto":
+        return AutoBackend(threshold=1)
+    return backend
 
 #: Small instances of representative graph families: the four seed
 #: families plus ``powerlaw`` standing in for the workload-suite
@@ -127,13 +142,10 @@ def _reference(program_key, family, network_key):
 @pytest.mark.parametrize("network_key", sorted(NETWORKS))
 @pytest.mark.parametrize("family", sorted(FAMILY_PARAMS))
 @pytest.mark.parametrize("program_key", sorted(PROGRAMS))
-@pytest.mark.parametrize("backend", ["flatarray", "sharded"])
+@pytest.mark.parametrize("backend", ["flatarray", "sharded", "auto"])
 def test_engine_matches_baseline(backend, program_key, family, network_key):
     expected = _reference(program_key, family, network_key)
-    engine = (
-        ShardedBackend(num_shards=2) if backend == "sharded" else backend
-    )
-    actual = _execute(engine, program_key, family, network_key)
+    actual = _execute(_engine_for(backend), program_key, family, network_key)
     # Compare field by field for readable failures.
     for field in expected:
         assert actual[field] == expected[field], (
@@ -142,12 +154,12 @@ def test_engine_matches_baseline(backend, program_key, family, network_key):
         )
 
 
-@pytest.mark.parametrize("backend", ["reference", "flatarray", "sharded"])
+@pytest.mark.parametrize("backend", ["reference", "flatarray", "sharded", "auto"])
 def test_pinned_grid_execution(backend):
     """The clean-channel FloodMax execution on the 3×4 grid is pinned:
     any engine (including reference itself) must reproduce these counts.
     """
-    result = _execute(backend, "floodmax", "grid", "reliable")
+    result = _execute(_engine_for(backend), "floodmax", "grid", "reliable")
     expected = _reference("floodmax", "grid", "reliable")
     assert result == expected
     assert result["rounds"] > 0
@@ -197,7 +209,7 @@ class TestTraceConformance:
     """Satellite: the JSONL event stream from flatarray matches the
     reference recorder event-for-event on a fixed seed."""
 
-    @pytest.mark.parametrize("backend", ["flatarray", "sharded"])
+    @pytest.mark.parametrize("backend", ["flatarray", "sharded", "auto"])
     def test_jsonl_streams_identical(self, tmp_path, backend):
         def run(engine, path):
             graph = _build_graph("gnp")
@@ -221,10 +233,7 @@ class TestTraceConformance:
         ref_path = tmp_path / "reference.jsonl"
         alt_path = tmp_path / f"{backend}.jsonl"
         ref = run("reference", ref_path)
-        alt = run(
-            ShardedBackend(num_shards=2) if backend == "sharded" else backend,
-            alt_path,
-        )
+        alt = run(_engine_for(backend), alt_path)
         assert alt.events == ref.events
         # The streamed JSONL files are byte-identical too.
         assert alt_path.read_bytes() == ref_path.read_bytes()
