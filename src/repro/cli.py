@@ -16,6 +16,15 @@ Commands:
 * ``report`` — aggregate a result store into per-scenario tables.
 * ``profile`` — run one registered scenario with phase-level profiling
   and print a flame-style per-phase rounds/messages/wall-time report.
+* ``trace`` — summarize, diff, or export telemetry event streams: the
+  per-phase rounds/messages/bits table of an instrumented run (or a
+  captured JSONL stream), and logical-metric diffs across backends.
+* ``bench`` — the ``bench check`` regression gate: re-measure the
+  committed BENCH_*.json trajectory and compare.
+
+The engine subcommands (``sweep``/``batch``/``suite``/``profile``)
+share ``--quiet`` / ``--verbose`` / ``--telemetry PATH`` flags mapping
+onto telemetry console-sink levels and a JSONL event stream.
 
 The algorithm table lives in :mod:`repro.engine.algorithms`, shared with
 the experiment engine and the benchmarks.
@@ -26,7 +35,8 @@ import json
 import random
 import sys
 from dataclasses import replace
-from typing import Any, Dict, List, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine import (
     ALGORITHMS,
@@ -210,6 +220,111 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_options(profile)
 
+    trace = sub.add_parser(
+        "trace",
+        help="summarize, diff, or export telemetry event streams",
+    )
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+
+    trace_summary = trace_sub.add_parser(
+        "summary",
+        help="per-phase rounds/messages/bits table of a run or stream",
+    )
+    trace_summary.add_argument(
+        "events",
+        nargs="?",
+        default=None,
+        metavar="EVENTS",
+        help="captured telemetry JSONL to summarize (default: run a "
+        "fresh instrumented distributed run)",
+    )
+    trace_summary.add_argument(
+        "--backend",
+        default="reference",
+        metavar="ENGINE",
+        help="ledger engine for the instrumented run (default: reference)",
+    )
+    _add_trace_workload_options(trace_summary)
+
+    trace_diff = trace_sub.add_parser(
+        "diff",
+        help="diff two streams' (or two backends') logical metrics",
+    )
+    trace_diff.add_argument(
+        "a",
+        metavar="A",
+        help="telemetry JSONL path, or a ledger engine name to run",
+    )
+    trace_diff.add_argument(
+        "b",
+        metavar="B",
+        help="telemetry JSONL path, or a ledger engine name to run",
+    )
+    _add_trace_workload_options(trace_diff)
+
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="filter/re-emit a captured telemetry stream as JSONL",
+    )
+    trace_export.add_argument(
+        "events", metavar="EVENTS", help="captured telemetry JSONL"
+    )
+    trace_export.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the filtered stream here (default: stdout)",
+    )
+    trace_export.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="EVENT",
+        help="keep only events of this kind (repeatable, e.g. phase)",
+    )
+    trace_export.add_argument(
+        "--run",
+        default=None,
+        metavar="RUN_ID",
+        help="keep only events of this run id",
+    )
+
+    bench = sub.add_parser(
+        "bench", help="benchmark utilities (regression gate)"
+    )
+    bench_sub = bench.add_subparsers(dest="action", required=True)
+    bench_check = bench_sub.add_parser(
+        "check",
+        help="re-measure the committed BENCH_*.json trajectory and compare",
+    )
+    bench_check.add_argument(
+        "--file",
+        action="append",
+        default=None,
+        metavar="PATH",
+        help="committed benchmark JSON to gate (repeatable; default: "
+        "BENCH_profile.json and BENCH_backends.json where present)",
+    )
+    bench_check.add_argument(
+        "--max-n",
+        type=int,
+        default=64,
+        help="skip committed entries above this instance size (default 64)",
+    )
+    bench_check.add_argument(
+        "--tolerance",
+        type=float,
+        default=50.0,
+        help="wall-time slack multiplier vs committed seconds (default 50; "
+        "logical metrics always compare exactly)",
+    )
+    bench_check.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream the gate's telemetry events to PATH as JSONL",
+    )
+
     report = sub.add_parser("report", help="aggregate a result store")
     report.add_argument("--store", default=DEFAULT_STORE)
     report.add_argument(
@@ -275,6 +390,45 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         help="override the simulation-backend axis (repeatable): an "
         f"engine name ({', '.join(sorted(BACKENDS))}), "
         "NAME:key=value,..., or a JSON spec object",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job progress lines on stderr",
+    )
+    verbosity.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every telemetry event on stderr (structured), not "
+        "just the progress lines",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream the run's telemetry events to PATH as JSONL",
+    )
+
+
+def _add_trace_workload_options(parser: argparse.ArgumentParser) -> None:
+    """Workload knobs for ``repro trace``'s instrumented runs (ignored
+    when summarizing/diffing captured streams)."""
+    parser.add_argument(
+        "--n", type=int, default=64, help="number of nodes (default 64)"
+    )
+    parser.add_argument(
+        "--k", type=int, default=3, help="input components (default 3)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--p", type=float, default=0.35, help="edge probability (default 0.35)"
+    )
+    parser.add_argument(
+        "--algorithm",
+        choices=sorted(ALGORITHMS),
+        default="distributed",
+        help="ledger-narrating solver to instrument (default: distributed)",
     )
 
 
@@ -352,19 +506,51 @@ def _apply_axis_overrides(
     return specs
 
 
+def _engine_telemetry(args, specs: List[ScenarioSpec]) -> Tuple[Any, Any]:
+    """``(telemetry, log)`` for an engine run per the verbosity flags.
+
+    Default (no flags) keeps the legacy path — ``log=stderr_log``, the
+    runner's private compat bus — so output stays byte-identical. Any
+    flag switches to an explicit bus: ``--telemetry`` adds a JSONL
+    sink, ``--verbose`` a full-event console sink, ``--quiet`` drops
+    the console entirely (the JSONL sink still records).
+    """
+    if not args.quiet and not args.verbose and args.telemetry is None:
+        return None, stderr_log
+    from repro.telemetry import ConsoleSink, JsonlSink, RunManifest, Telemetry
+
+    sinks: List[Any] = []
+    if args.telemetry is not None:
+        sinks.append(JsonlSink(args.telemetry))
+    if args.verbose:
+        sinks.append(ConsoleSink(verbose=True))
+    elif not args.quiet:
+        sinks.append(ConsoleSink(verbose=False))
+    manifest = RunManifest(
+        workload={"scenarios": [spec.name for spec in specs]}
+    )
+    return Telemetry(manifest=manifest, sinks=sinks), None
+
+
 def _run_engine(args, specs: List[ScenarioSpec]) -> int:
     overridden = _apply_axis_overrides(args, specs)
     if overridden is None:
         return 2
     specs = overridden
     store = None if args.no_store else ResultStore(args.store)
-    all_stats = run_suite(
-        specs,
-        store=store,
-        max_workers=args.workers,
-        parallel=not args.serial,
-        log=stderr_log,
-    )
+    telemetry, log = _engine_telemetry(args, specs)
+    try:
+        all_stats = run_suite(
+            specs,
+            store=store,
+            max_workers=args.workers,
+            parallel=not args.serial,
+            log=log,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     records = []
     for stats in all_stats:
         print(
@@ -484,16 +670,175 @@ def _cmd_profile(args) -> int:
     # the report's wall-time column is the whole point, and a saturated
     # worker pool would measure scheduler contention instead of the
     # pipeline. --workers N is the explicit opt-in to parallelism.
-    all_stats = run_suite(
-        specs,
-        store=store,
-        max_workers=args.workers,
-        parallel=args.workers is not None and not args.serial,
-        log=stderr_log,
-    )
+    telemetry, log = _engine_telemetry(args, specs)
+    try:
+        all_stats = run_suite(
+            specs,
+            store=store,
+            max_workers=args.workers,
+            parallel=args.workers is not None and not args.serial,
+            log=log,
+            telemetry=telemetry,
+        )
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     records = [record for stats in all_stats for record in stats.records]
     print(render_profile_report(records))
     return 0
+
+
+def _instrumented_trace(args, backend: str) -> List[Dict[str, Any]]:
+    """Run the chosen ledger-narrating solver once with a telemetry bus
+    attached; returns the captured event stream (``repro trace``'s
+    fresh-run mode)."""
+    from repro.perf import make_ledger_run
+    from repro.telemetry import MemorySink, RunManifest, Telemetry
+
+    algorithm = ALGORITHMS[args.algorithm]
+    if not algorithm.accepts_run:
+        raise ValueError(
+            f"algorithm {args.algorithm!r} does not narrate a ledger; "
+            "choose a run-accepting solver (e.g. distributed, sublinear)"
+        )
+    instance = random_instance(
+        args.n, args.k, random.Random(args.seed), p=args.p
+    )
+    sink = MemorySink()
+    manifest = RunManifest(
+        workload={
+            "algorithm": args.algorithm,
+            "n": args.n,
+            "k": args.k,
+            "p": args.p,
+            "seed": args.seed,
+        },
+        backend=normalize_backend(backend),
+    )
+    with Telemetry(manifest=manifest, sinks=[sink]) as telemetry:
+        run = make_ledger_run(backend, instance.graph)
+        bridge = telemetry.attach_ledger(run)
+        with telemetry.span("solve", algorithm=args.algorithm, backend=backend):
+            algorithm.run(instance, random.Random(args.seed), run=run)
+        bridge.finish()
+    return sink.events
+
+
+def _cmd_trace(args) -> int:
+    from repro.telemetry import (
+        diff_streams,
+        encode_event,
+        read_events,
+        render_summary,
+    )
+
+    if args.action == "summary":
+        if args.events is not None:
+            try:
+                events = read_events(args.events)
+            except (OSError, json.JSONDecodeError) as exc:
+                print(
+                    f"error: cannot read events {args.events}: {exc}",
+                    file=sys.stderr,
+                )
+                return 2
+            title = str(args.events)
+        else:
+            try:
+                events = _instrumented_trace(args, args.backend)
+            except (KeyError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            title = (
+                f"{args.algorithm} n={args.n} k={args.k} "
+                f"backend={args.backend}"
+            )
+        print(render_summary(events, title=title))
+        return 0
+
+    if args.action == "diff":
+        try:
+            if Path(args.a).is_file() and Path(args.b).is_file():
+                events_a = read_events(args.a)
+                events_b = read_events(args.b)
+            else:
+                # Not two stream files: treat A/B as ledger engines and
+                # run the same workload on each (the conformance view).
+                events_a = _instrumented_trace(args, args.a)
+                events_b = _instrumented_trace(args, args.b)
+        except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        identical, report = diff_streams(
+            events_a, events_b, label_a=args.a, label_b=args.b
+        )
+        print(report)
+        return 0 if identical else 1
+
+    # export: filter a captured stream and re-emit it as JSONL.
+    try:
+        events = read_events(args.events)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(
+            f"error: cannot read events {args.events}: {exc}", file=sys.stderr
+        )
+        return 2
+    if args.kind:
+        wanted = set(args.kind)
+        events = [e for e in events if e.get("event") in wanted]
+    if args.run:
+        events = [e for e in events if e.get("run_id") == args.run]
+    lines = [encode_event(event) for event in events]
+    if args.out is not None:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            "\n".join(lines) + ("\n" if lines else ""), encoding="utf-8"
+        )
+        print(f"exported {len(lines)} events to {args.out}")
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.telemetry import JsonlSink, RunManifest, Telemetry, check_benches
+
+    paths = args.file
+    if not paths:
+        paths = [
+            name
+            for name in ("BENCH_profile.json", "BENCH_backends.json")
+            if Path(name).is_file()
+        ]
+    if not paths:
+        print(
+            "error: no committed BENCH_*.json found; pass --file",
+            file=sys.stderr,
+        )
+        return 2
+    telemetry = None
+    if args.telemetry is not None:
+        telemetry = Telemetry(
+            manifest=RunManifest(workload={"gate": "bench-check"}),
+            sinks=[JsonlSink(args.telemetry)],
+        )
+    try:
+        report = check_benches(
+            paths,
+            max_n=args.max_n,
+            tolerance=args.tolerance,
+            telemetry=telemetry,
+        )
+    except (OSError, json.JSONDecodeError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if telemetry is not None:
+            telemetry.close()
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_report(args) -> int:
@@ -518,6 +863,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "batch": _cmd_batch,
         "suite": _cmd_suite,
         "profile": _cmd_profile,
+        "trace": _cmd_trace,
+        "bench": _cmd_bench,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

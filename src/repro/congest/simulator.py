@@ -170,9 +170,11 @@ class Simulator:
         return self.backend.run_to_completion(max_rounds=max_rounds)
 
     def close(self) -> None:
-        """Release backend resources (idempotent; run_to_completion
-        closes automatically)."""
+        """Release backend resources and any streaming trace handle
+        (idempotent; run_to_completion closes automatically)."""
         self.backend.close()
+        if self.trace is not None:
+            self.trace.close()
 
 
 class FloodMaxLeaderElection(NodeProgram):

@@ -167,30 +167,77 @@ def stderr_log(message: str) -> None:
     print(message, file=sys.stderr, flush=True)
 
 
+def _job_event(
+    telemetry: Optional[Any],
+    status: str,
+    job: Job,
+    *,
+    done: int = 0,
+    total: int = 0,
+    **fields: Any,
+) -> None:
+    """One job-lifecycle event (queued → running → cached / completed /
+    failed) on the bus, when one is attached."""
+    if telemetry is None:
+        return
+    telemetry.emit(
+        "job_queued" if status == "queued" else
+        "job_start" if status == "running" else
+        "job_cached" if status == "cached" else "job_end",
+        status=status,
+        scenario=job.scenario,
+        algorithm=job.algorithm,
+        key=job.key,
+        done=done,
+        total=total,
+        **fields,
+    )
+
+
 def _run_jobs(
     jobs: List[Job],
     max_workers: Optional[int],
     parallel: bool,
     log: ProgressLog = None,
     scenario: str = "",
+    telemetry: Optional[Any] = None,
 ) -> List[Dict[str, Any]]:
     payloads = [job.to_dict() for job in jobs]
     total = len(payloads)
 
-    def note(done: int, record: Dict[str, Any]) -> None:
-        if log is not None:
-            wall = record["metrics"].get("wall_time", 0.0)
-            log(
-                f"[{scenario}] job {done}/{total} done: "
-                f"{record['algorithm']} ({wall:.3f}s)"
-            )
+    def note(done: int, job: Job, record: Dict[str, Any]) -> None:
+        wall = record["metrics"].get("wall_time", 0.0)
+        # The legacy progress line is rendered by the telemetry console
+        # shim (format_progress) from this event; ``log`` callers get it
+        # through a CallbackSink attached in run_spec.
+        _job_event(
+            telemetry, "completed", job,
+            done=done, total=total, wall_time=wall,
+        )
+        if telemetry is not None:
+            telemetry.histogram("engine.job_wall_seconds").observe(wall)
+            telemetry.counter("engine.jobs_executed").inc()
+
+    def fail(done: int, job: Job, error: BaseException) -> None:
+        _job_event(
+            telemetry, "failed", job,
+            done=done, total=total, error=repr(error),
+        )
+        if telemetry is not None:
+            telemetry.counter("engine.jobs_failed").inc()
 
     if not parallel or len(jobs) <= 1:
         records = []
-        for payload in payloads:
-            record = execute_job(payload)
+        for job, payload in zip(jobs, payloads):
+            _job_event(telemetry, "running", job,
+                       done=len(records), total=total)
+            try:
+                record = execute_job(payload)
+            except BaseException as exc:
+                fail(len(records) + 1, job, exc)
+                raise
             records.append(record)
-            note(len(records), record)
+            note(len(records), job, record)
         return records
     if max_workers is None:
         # Saturate the machine by default; sweeps are embarrassingly
@@ -198,16 +245,21 @@ def _run_jobs(
         max_workers = os.cpu_count() or 1
     results: List[Optional[Dict[str, Any]]] = [None] * total
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {
-            pool.submit(execute_job, payload): index
-            for index, payload in enumerate(payloads)
-        }
+        futures = {}
+        for index, payload in enumerate(payloads):
+            futures[pool.submit(execute_job, payload)] = index
+            _job_event(telemetry, "queued", jobs[index],
+                       done=index + 1, total=total)
         done = 0
         for future in as_completed(futures):
             index = futures[future]
-            results[index] = future.result()
             done += 1
-            note(done, results[index])
+            try:
+                results[index] = future.result()
+            except BaseException as exc:
+                fail(done, jobs[index], exc)
+                raise
+            note(done, jobs[index], results[index])
     return results
 
 
@@ -230,12 +282,35 @@ class SweepStats:
         return self.executed + self.cached
 
 
+def _open_telemetry(
+    telemetry: Optional[Any], log: ProgressLog, workload: Dict[str, Any]
+) -> "tuple[Optional[Any], bool]":
+    """Resolve the bus a sweep reports to: the caller's, a private one
+    wrapping ``log`` (so legacy progress callers get byte-identical
+    lines through the compat sink), or none at all.
+
+    Returns ``(telemetry, owned)``; an owned bus is closed by the sweep.
+    """
+    if telemetry is not None:
+        return telemetry, False
+    if log is None:
+        return None, False
+    from repro.telemetry import CallbackSink, RunManifest, Telemetry
+
+    bus = Telemetry(
+        manifest=RunManifest(workload=workload),
+        sinks=[CallbackSink(log)],
+    )
+    return bus, True
+
+
 def run_spec(
     spec: ScenarioSpec,
     store: Optional[ResultStore] = None,
     max_workers: Optional[int] = None,
     parallel: bool = True,
     log: ProgressLog = None,
+    telemetry: Optional[Any] = None,
 ) -> SweepStats:
     """Expand ``spec``, skip rows already in ``store``, run the rest.
 
@@ -243,35 +318,77 @@ def run_spec(
     benchmarks that only want the records). ``log`` receives one line per
     progress event (cache summary, per-job completion); pass
     :func:`stderr_log` for CLI-style output, None for silence.
+
+    ``telemetry`` attaches a :class:`~repro.telemetry.Telemetry` bus:
+    the sweep emits ``sweep_start``/``sweep_end``, job-lifecycle events
+    (queued → running → cached/completed/failed), and cache/store
+    counters. When only ``log`` is given, a private bus renders the
+    historical progress strings through the compat sink — the legacy
+    lines are now *views* over structured events. Telemetry observes
+    and never participates: detached runs are byte-identical.
     """
     jobs = expand_jobs(spec)
     cached_keys = store.keys() if store is not None else set()
     pending = [job for job in jobs if job.key not in cached_keys]
-    if log is not None:
-        log(
-            f"[{spec.name}] {len(jobs)} jobs: "
-            f"{len(jobs) - len(pending)} cache hits, {len(pending)} to run"
-        )
-    fresh = _run_jobs(
-        pending,
-        max_workers=max_workers,
-        parallel=parallel,
-        log=log,
-        scenario=spec.name,
-    )
-    if store is not None and fresh:
-        store.append(fresh)
+    hits = len(jobs) - len(pending)
+    tele, owned = _open_telemetry(telemetry, log, {"scenario": spec.name})
+    if tele is not None and not owned and log is not None:
+        # Caller supplied both a bus and a legacy logger: bridge them.
+        from repro.telemetry import CallbackSink
 
-    by_key = {record["key"]: record for record in fresh}
-    if store is not None:
-        hit_keys = {job.key for job in jobs} & cached_keys
-        for record in store.select(keys=hit_keys):
-            by_key.setdefault(record["key"], record)
-    records = [by_key[job.key] for job in jobs if job.key in by_key]
+        tele.add_sink(CallbackSink(log))
+    try:
+        if tele is not None:
+            tele.emit(
+                "sweep_start",
+                scenario=spec.name,
+                jobs=len(jobs),
+                cache_hits=hits,
+                to_run=len(pending),
+            )
+            tele.counter("engine.cache.hit").inc(hits)
+            tele.counter("engine.cache.miss").inc(len(pending))
+            for job in jobs:
+                if job.key in cached_keys:
+                    _job_event(tele, "cached", job, total=len(jobs))
+        fresh = _run_jobs(
+            pending,
+            max_workers=max_workers,
+            parallel=parallel,
+            log=None if tele is not None else log,
+            scenario=spec.name,
+            telemetry=tele,
+        )
+        if store is not None and fresh:
+            store.append(fresh)
+            if tele is not None:
+                tele.counter("engine.store.rows_written").inc(len(fresh))
+
+        by_key = {record["key"]: record for record in fresh}
+        if store is not None:
+            hit_keys = {job.key for job in jobs} & cached_keys
+            rows_read = 0
+            for record in store.select(keys=hit_keys):
+                by_key.setdefault(record["key"], record)
+                rows_read += 1
+            if tele is not None and rows_read:
+                tele.counter("engine.store.rows_read").inc(rows_read)
+        records = [by_key[job.key] for job in jobs if job.key in by_key]
+        if tele is not None:
+            tele.emit(
+                "sweep_end",
+                scenario=spec.name,
+                executed=len(pending),
+                cached=hits,
+                records=len(records),
+            )
+    finally:
+        if owned:
+            tele.close()
     return SweepStats(
         scenario=spec.name,
         executed=len(pending),
-        cached=len(jobs) - len(pending),
+        cached=hits,
         records=records,
     )
 
@@ -282,8 +399,13 @@ def run_suite(
     max_workers: Optional[int] = None,
     parallel: bool = True,
     log: ProgressLog = None,
+    telemetry: Optional[Any] = None,
 ) -> List[SweepStats]:
-    """Run several specs against one store; returns per-spec stats."""
+    """Run several specs against one store; returns per-spec stats.
+
+    A ``telemetry`` bus is shared across every spec (one run id, one
+    event stream); per-spec events carry the scenario name.
+    """
     return [
         run_spec(
             spec,
@@ -291,6 +413,7 @@ def run_suite(
             max_workers=max_workers,
             parallel=parallel,
             log=log,
+            telemetry=telemetry,
         )
         for spec in specs
     ]

@@ -5,7 +5,20 @@ Simulator` captures one event per message transmission (send round, fate,
 delivery round) plus one summary event per round (sent/delivered/dropped
 counts and payload volume). Events are plain JSON-able dicts so traces
 dump to JSONL for offline congestion profiling and load back for replay
-assertions — the same append-only format as the engine's result store.
+assertions — the same append-only format as the engine's result store
+and the telemetry bus.
+
+Resource discipline: the recorder is a context manager, and the
+simulation backends close it when an execution completes or dies
+(:meth:`repro.simbackend.base.SimulationBackend.run_to_completion`), so
+a streaming trace file is never left on an open handle. Closing is
+idempotent and does not end the recorder's life — a later event reopens
+the stream in append mode, continuing the same file.
+
+Identity: a recorder created with ``run_id`` (or wired to a
+:class:`~repro.telemetry.Telemetry` bus, which supplies its manifest's
+id) stamps that id on every event, so message traces from many runs
+interleave attributably with the rest of the run's telemetry.
 """
 
 import json
@@ -22,26 +35,79 @@ def _describe(payload: Any) -> str:
     return text if len(text) <= 80 else text[:77] + "..."
 
 
-class TraceRecorder:
-    """Accumulates message/round events; optionally streams to JSONL."""
+def _encode(event: Dict[str, Any]) -> str:
+    """The one JSONL encoding for trace events — shared by streaming
+    and :meth:`TraceRecorder.dump` so the two paths cannot drift."""
+    return json.dumps(event, sort_keys=True)
 
-    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+
+class TraceRecorder:
+    """Accumulates message/round events; optionally streams to JSONL.
+
+    Args:
+        path: stream events to this JSONL file as they are recorded
+            (flushed per event; None keeps events in memory only).
+        run_id: stamped on every event when given.
+        telemetry: a :class:`~repro.telemetry.Telemetry` bus to forward
+            events onto (as ``trace.send`` / ``trace.lost`` /
+            ``trace.round`` bus events); also supplies ``run_id`` when
+            none was given.
+    """
+
+    def __init__(
+        self,
+        path: Optional[os.PathLike] = None,
+        run_id: Optional[str] = None,
+        telemetry: Optional[Any] = None,
+    ) -> None:
         self.events: List[Dict[str, Any]] = []
         self.path = Path(path) if path is not None else None
+        self.telemetry = telemetry
+        if run_id is None and telemetry is not None:
+            run_id = telemetry.run_id
+        self.run_id = run_id
         self._handle = None
+        self._created = False
+
+    # -- resource handling ----------------------------------------------
+
+    def __enter__(self) -> "TraceRecorder":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the streaming handle (idempotent). The recorder stays
+        usable: a later event reopens the stream appending."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
     # -- recording (called by the simulator) -----------------------------
 
     def _emit(self, event: Dict[str, Any]) -> None:
+        if self.run_id is not None:
+            event["run_id"] = self.run_id
         self.events.append(event)
         if self.path is not None:
             if self._handle is None:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
-                self._handle = self.path.open("w", encoding="utf-8")
-            self._handle.write(json.dumps(event, sort_keys=True) + "\n")
+                # First open truncates (a fresh stream); reopening after
+                # a close appends, so one recorder = one coherent file.
+                self._handle = self.path.open(
+                    "a" if self._created else "w", encoding="utf-8"
+                )
+                self._created = True
+            self._handle.write(_encode(event) + "\n")
             # Streaming mode promises a live file: flush per event so a
             # concurrent reader (or a dying run) sees every record.
             self._handle.flush()
+        if self.telemetry is not None:
+            kind = f"trace.{event['event']}"
+            self.telemetry.emit(
+                kind, **{k: v for k, v in event.items() if k != "event"}
+            )
 
     def record_send(
         self,
@@ -95,11 +161,6 @@ class TraceRecorder:
             }
         )
 
-    def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-
     # -- inspection ------------------------------------------------------
 
     def sends(self) -> Iterator[Dict[str, Any]]:
@@ -127,7 +188,7 @@ class TraceRecorder:
         target.parent.mkdir(parents=True, exist_ok=True)
         with target.open("w", encoding="utf-8") as handle:
             for event in self.events:
-                handle.write(json.dumps(event, sort_keys=True) + "\n")
+                handle.write(_encode(event) + "\n")
         return len(self.events)
 
     @classmethod

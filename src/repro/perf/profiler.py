@@ -168,6 +168,29 @@ class PhaseProfiler:
             if self._stack and self._stack[-1] == qualified:
                 self._stack.pop()
 
+    # -- reconstruction from a telemetry stream ---------------------------
+
+    @classmethod
+    def from_events(cls, events: Any) -> "PhaseProfiler":
+        """Rebuild a profiler from captured telemetry ``phase`` events.
+
+        The :class:`~repro.telemetry.LedgerBridge` narrates every phase
+        transition onto the bus with the same counters this class
+        collects, so the per-phase table is a *view over the event
+        stream*: ``PhaseProfiler.from_events(sink.events).to_dict()``
+        matches a directly-attached profiler's logical columns. Events
+        of other kinds are ignored; repeated phases accumulate.
+        """
+        profiler = cls()
+        for event in events:
+            if event.get("event") != "phase":
+                continue
+            frame = profiler._frame(event.get("phase", UNATTRIBUTED))
+            frame.rounds += int(event.get("rounds", 0))
+            frame.messages += int(event.get("messages", 0))
+            frame.wall_time += float(event.get("wall_time", 0.0))
+        return profiler
+
     # -- results ---------------------------------------------------------
 
     def finish(self) -> None:

@@ -168,12 +168,28 @@ class SimulationBackend:
                 self.close()
             except Exception:
                 pass
+            self._close_trace(swallow=True)
             raise
         # On success close() must not be silenced: a sharded engine that
         # cannot sync final program states back has to fail loudly, not
         # return a round count with stale caller-side state.
         self.close()
+        self._close_trace(swallow=False)
         return rounds
+
+    def _close_trace(self, swallow: bool) -> None:
+        """Release a streaming trace's file handle when the execution
+        ends — completed or dying, the JSONL stream must not be left on
+        an open handle. Closing is idempotent and the recorder stays
+        usable (re-streaming appends), so eager closing is safe even
+        when the caller keeps the recorder around."""
+        if self.trace is None:
+            return
+        try:
+            self.trace.close()
+        except Exception:
+            if not swallow:
+                raise
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         params = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params().items()))

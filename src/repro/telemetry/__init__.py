@@ -1,0 +1,90 @@
+"""Unified telemetry: run manifests, structured spans/metrics, sinks.
+
+The paper's headline claims — Õ(√n + D) rounds and bounded per-edge
+congestion — are *observability* claims; this package is the single
+structured layer that measures them across every execution surface:
+
+* :mod:`repro.telemetry.manifest` — :class:`RunManifest`, the per-run
+  identity (run id, workload hash, backend/network, git describe) every
+  stream attaches to.
+* :mod:`repro.telemetry.core` — :class:`Telemetry`, the event bus:
+  hierarchical spans, typed counters/gauges/histograms, and the
+  :class:`LedgerBridge` that narrates :class:`~repro.congest.run.
+  CongestRun` phases onto the bus through the existing profiler hook.
+* :mod:`repro.telemetry.sinks` — pluggable consumers: JSONL file,
+  in-memory, human console (with the engine's historical progress
+  strings as the compat rendering).
+* :mod:`repro.telemetry.summary` — per-phase rounds/messages/bits
+  tables and logical-metric diffs over event streams (``repro trace``).
+* :mod:`repro.telemetry.benchcheck` — the ``repro bench check``
+  regression gate over the committed BENCH_*.json trajectory.
+
+Invariant (pinned in ``tests/test_telemetry.py``): telemetry observes
+and never participates — with the bus detached, results, ledger
+accounting, and result-store cache keys are byte-identical to a
+pre-telemetry run, and nothing in a manifest feeds a job identity.
+"""
+
+from repro.telemetry.benchcheck import (
+    BenchCheckReport,
+    CheckRow,
+    check_bench_file,
+    check_benches,
+)
+from repro.telemetry.core import LedgerBridge, Telemetry
+from repro.telemetry.manifest import (
+    TELEMETRY_SCHEMA,
+    RunManifest,
+    git_describe,
+    new_run_id,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.sinks import (
+    CallbackSink,
+    ConsoleSink,
+    JsonlSink,
+    MemorySink,
+    Sink,
+    encode_event,
+    format_event,
+    format_progress,
+    read_events,
+)
+from repro.telemetry.summary import (
+    diff_streams,
+    manifest_of,
+    phase_rows,
+    render_summary,
+    totals_of,
+)
+
+__all__ = [
+    "BenchCheckReport",
+    "CallbackSink",
+    "CheckRow",
+    "ConsoleSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LedgerBridge",
+    "MemorySink",
+    "MetricsRegistry",
+    "RunManifest",
+    "Sink",
+    "TELEMETRY_SCHEMA",
+    "Telemetry",
+    "check_bench_file",
+    "check_benches",
+    "diff_streams",
+    "encode_event",
+    "format_event",
+    "format_progress",
+    "git_describe",
+    "manifest_of",
+    "new_run_id",
+    "phase_rows",
+    "read_events",
+    "render_summary",
+    "totals_of",
+]

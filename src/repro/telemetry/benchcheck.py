@@ -1,0 +1,241 @@
+"""The ``repro bench check`` regression gate.
+
+Re-runs a pinned subset of the committed benchmark trajectory —
+``BENCH_profile.json`` (the distributed Steiner-forest pipeline per
+ledger engine) and ``BENCH_backends.json`` (FloodMax per simulation
+backend) — and compares against the committed entries:
+
+* **logical metrics** (rounds, messages, solution weight) must match
+  the committed values *exactly*: they are deterministic, so any drift
+  is a real behavior change, not noise;
+* **wall time** must stay under ``tolerance ×`` the committed seconds
+  (with an absolute floor, since sub-millisecond entries on a different
+  machine are pure scheduler noise). The default tolerance is
+  deliberately generous — the gate exists to catch crashes and gross
+  regressions across CI hardware, not to police single-digit percents.
+
+Every check run narrates to an optional telemetry bus (one span per
+entry, pass/fail counters), so CI uploads the gate's own event stream
+as an artifact.
+"""
+
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+#: Wall-time slack: measured seconds may be tolerance × committed,
+#: but never less than this many absolute seconds (tiny committed
+#: entries would otherwise gate on scheduler noise).
+WALL_FLOOR_SECONDS = 1.0
+
+
+@dataclass
+class CheckRow:
+    """One re-measured benchmark entry vs its committed values."""
+
+    source: str
+    n: int
+    backend: str
+    ok: bool
+    seconds: float
+    allowed_seconds: float
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def detail(self) -> str:
+        return "; ".join(self.mismatches) if self.mismatches else "ok"
+
+
+@dataclass
+class BenchCheckReport:
+    """All rows of one gate run; ``ok`` iff every row passed."""
+
+    rows: List[CheckRow] = field(default_factory=list)
+    skipped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    def render(self) -> str:
+        if not self.rows:
+            return (
+                "bench check: no entries at or under the size cap "
+                f"({self.skipped} skipped)"
+            )
+        width = max(len(r.source) for r in self.rows)
+        lines = [
+            f"{'bench'.ljust(width)} {'n':>6s} {'backend':>10s} "
+            f"{'seconds':>9s} {'allowed':>9s} {'verdict'}"
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.source.ljust(width)} {row.n:6d} {row.backend:>10s} "
+                f"{row.seconds:9.3f} {row.allowed_seconds:9.3f} "
+                f"{'PASS' if row.ok else 'FAIL: ' + row.detail}"
+            )
+        passed = sum(1 for row in self.rows if row.ok)
+        lines.append(
+            f"{passed}/{len(self.rows)} entries pass "
+            f"({self.skipped} above the size cap skipped)"
+        )
+        return "\n".join(lines)
+
+
+def _compare(
+    committed: Dict[str, Any],
+    measured: Dict[str, Any],
+    tolerance: float,
+) -> CheckRow:
+    mismatches = []
+    for column in ("rounds", "messages", "weight"):
+        if column not in committed:
+            continue
+        if measured[column] != committed[column]:
+            mismatches.append(
+                f"{column} {measured[column]} != committed {committed[column]}"
+            )
+    allowed = max(tolerance * committed["seconds"], WALL_FLOOR_SECONDS)
+    if measured["seconds"] > allowed:
+        mismatches.append(
+            f"wall {measured['seconds']:.3f}s > allowed {allowed:.3f}s"
+        )
+    return CheckRow(
+        source=committed["source"],
+        n=committed["n"],
+        backend=committed["backend"],
+        ok=not mismatches,
+        seconds=measured["seconds"],
+        allowed_seconds=allowed,
+        mismatches=mismatches,
+    )
+
+
+def _measure_pipeline(workload: Dict[str, Any], n: int, backend: str) -> Dict[str, Any]:
+    """One BENCH_profile-style entry, re-measured (same construction as
+    ``benchmarks/bench_e18_profile.py``)."""
+    from repro.engine.algorithms import ALGORITHMS
+    from repro.perf import make_ledger_run
+    from repro.workloads import random_instance
+
+    algorithm = ALGORITHMS[workload.get("algorithm", "distributed")]
+    if not algorithm.accepts_run:
+        raise ValueError(
+            f"bench workload algorithm {algorithm.name!r} has no ledger"
+        )
+    instance = random_instance(
+        n,
+        int(workload.get("k", 3)),
+        random.Random(n),
+        p=float(workload.get("p", 0.35)),
+    )
+    started = time.perf_counter()
+    run = make_ledger_run(backend, instance.graph)
+    result = algorithm.run(instance, random.Random(0), run=run)
+    elapsed = time.perf_counter() - started
+    return {
+        "seconds": elapsed,
+        "rounds": result.rounds,
+        "messages": run.messages,
+        "weight": result.solution.weight,
+    }
+
+
+def _measure_floodmax(workload: Dict[str, Any], n: int, backend: str) -> Dict[str, Any]:
+    """One BENCH_backends-style entry, re-measured (same construction as
+    ``benchmarks/bench_e16_backends.py``)."""
+    from repro.congest.simulator import FloodMaxLeaderElection, Simulator
+    from repro.workloads import random_connected_graph
+
+    graph = random_connected_graph(
+        n, float(workload.get("p", 0.35)), random.Random(n)
+    )
+    programs = {v: FloodMaxLeaderElection() for v in graph.nodes}
+    started = time.perf_counter()
+    sim = Simulator(graph, programs, backend=backend)
+    rounds = sim.run_to_completion()
+    elapsed = time.perf_counter() - started
+    return {"seconds": elapsed, "rounds": rounds, "messages": sim.run.messages}
+
+
+#: Per-bench re-measurement drivers, keyed by the JSON's ``experiment``.
+_DRIVERS = {
+    "e18-profile": _measure_pipeline,
+    "e16-backends": _measure_floodmax,
+}
+
+
+def check_bench_file(
+    path: Any,
+    max_n: int = 64,
+    tolerance: float = 50.0,
+    telemetry: Optional[Any] = None,
+    report: Optional[BenchCheckReport] = None,
+) -> BenchCheckReport:
+    """Gate one committed BENCH_*.json file; returns the (shared) report."""
+    path = Path(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    experiment = data.get("experiment", "")
+    try:
+        driver = _DRIVERS[experiment]
+    except KeyError:
+        raise ValueError(
+            f"{path.name}: unknown benchmark experiment {experiment!r}; "
+            f"checkable: {sorted(_DRIVERS)}"
+        ) from None
+    workload = data.get("workload", {})
+    if report is None:
+        report = BenchCheckReport()
+    for entry in data.get("entries", []):
+        n = int(entry["n"])
+        backend = str(entry["backend"])
+        if n > max_n:
+            report.skipped += 1
+            continue
+        committed = dict(entry, source=path.name)
+        if telemetry is not None:
+            with telemetry.span(
+                "bench-check", bench=path.name, n=n, backend=backend
+            ):
+                measured = driver(workload, n, backend)
+        else:
+            measured = driver(workload, n, backend)
+        row = _compare(committed, measured, tolerance)
+        report.rows.append(row)
+        if telemetry is not None:
+            telemetry.emit(
+                "bench_check",
+                bench=path.name,
+                n=n,
+                backend=backend,
+                ok=row.ok,
+                seconds=round(row.seconds, 6),
+                allowed_seconds=round(row.allowed_seconds, 6),
+                detail=row.detail,
+            )
+            telemetry.counter(
+                "bench.passed" if row.ok else "bench.failed"
+            ).inc()
+    return report
+
+
+def check_benches(
+    paths: Any,
+    max_n: int = 64,
+    tolerance: float = 50.0,
+    telemetry: Optional[Any] = None,
+) -> BenchCheckReport:
+    """Gate several BENCH files into one report (missing files error)."""
+    report = BenchCheckReport()
+    for path in paths:
+        check_bench_file(
+            path,
+            max_n=max_n,
+            tolerance=tolerance,
+            telemetry=telemetry,
+            report=report,
+        )
+    return report

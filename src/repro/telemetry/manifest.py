@@ -1,0 +1,106 @@
+"""Per-run manifests: the identity every telemetry stream attaches to.
+
+A :class:`RunManifest` is the first event on every telemetry bus: one
+JSON-able record naming the run (``run_id``), what it executed
+(workload description and content hash), how (backend and network
+specs), and where (git describe, python, platform). Every subsequent
+event on the bus carries the manifest's ``run_id``, so a directory of
+JSONL streams from many runs stays attributable — the precondition for
+``repro trace diff`` and for the record/replay direction in the
+ROADMAP.
+
+Manifests are observability metadata only: nothing in them feeds job
+identities or cache keys, so attaching telemetry can never change what
+the engine computes or caches (pinned in ``tests/test_telemetry.py``).
+"""
+
+import os
+import platform
+import subprocess
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+#: Version of the telemetry event/manifest format (independent of the
+#: result store's SCHEMA_VERSION; bump on incompatible event changes).
+TELEMETRY_SCHEMA = 1
+
+_GIT_DESCRIBE: Optional[str] = None
+_GIT_DESCRIBE_KNOWN = False
+
+
+def git_describe() -> Optional[str]:
+    """``git describe --always --dirty`` of the source tree, or None.
+
+    Cached per process: manifests are created once per run, but a suite
+    run creates one per spec and the subprocess would dominate.
+    """
+    global _GIT_DESCRIBE, _GIT_DESCRIBE_KNOWN
+    if not _GIT_DESCRIBE_KNOWN:
+        _GIT_DESCRIBE_KNOWN = True
+        try:
+            _GIT_DESCRIBE = subprocess.run(
+                ["git", "describe", "--always", "--dirty"],
+                cwd=os.path.dirname(os.path.abspath(__file__)),
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            ).stdout.strip() or None
+        except Exception:
+            _GIT_DESCRIBE = None
+    return _GIT_DESCRIBE
+
+
+def new_run_id() -> str:
+    """A fresh run identifier: sortable timestamp + random suffix."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"r-{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """The run identity stamped on every telemetry stream.
+
+    Attributes:
+        run_id: unique identifier; every event on the bus carries it.
+        created: unix timestamp of manifest creation.
+        schema: telemetry format version (:data:`TELEMETRY_SCHEMA`).
+        workload: what ran — free-form description plus, when the run
+            came from the experiment engine, the scenario name and the
+            spec's content hash.
+        backend: canonical simulation/ledger backend spec (or None).
+        network: canonical network-condition spec (or None).
+        git: ``git describe`` of the source tree (None outside a
+            checkout).
+        python: interpreter version string.
+        platform: OS/machine string.
+    """
+
+    run_id: str = field(default_factory=new_run_id)
+    created: float = field(default_factory=time.time)
+    schema: int = TELEMETRY_SCHEMA
+    workload: Mapping[str, Any] = field(default_factory=dict)
+    backend: Optional[Mapping[str, Any]] = None
+    network: Optional[Mapping[str, Any]] = None
+    git: Optional[str] = field(default_factory=git_describe)
+    python: str = field(
+        default_factory=lambda: sys.version.split()[0]
+    )
+    platform: str = field(default_factory=platform.platform)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON-able manifest payload (the bus's first event body)."""
+        return {
+            "run_id": self.run_id,
+            "created": self.created,
+            "schema": self.schema,
+            "workload": dict(self.workload),
+            "backend": dict(self.backend) if self.backend else None,
+            "network": dict(self.network) if self.network else None,
+            "git": self.git,
+            "python": self.python,
+            "platform": self.platform,
+        }

@@ -1,0 +1,173 @@
+"""Pluggable telemetry sinks: where bus events go.
+
+Every sink consumes the same plain-dict events; the bus fans each event
+out to all attached sinks. Three built-ins cover the repo's needs:
+
+* :class:`JsonlSink` — streams events to a JSONL file (one object per
+  line, flushed per event so a dying run leaves a readable stream) —
+  the same append-only format as the result store and message traces.
+* :class:`MemorySink` — accumulates events in a list for tests and for
+  the ``repro trace`` subcommand's in-process summaries.
+* :class:`ConsoleSink` — renders events as human lines on a stream,
+  with the engine's historical progress strings reproduced verbatim
+  (the compat shim behind the runner's ``log`` parameter) and a
+  ``verbose`` mode that prints every event.
+
+:class:`CallbackSink` adapts any ``str -> None`` logger (e.g. the
+engine's :func:`~repro.engine.runner.stderr_log`) into a sink, which is
+how pre-telemetry call sites keep their exact output.
+"""
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+#: Event fields that are bus plumbing, not payload (hidden in verbose
+#: console rendering).
+_ENVELOPE_FIELDS = ("event", "run_id", "seq", "t")
+
+
+def encode_event(event: Dict[str, Any]) -> str:
+    """One canonical JSONL line for an event (shared with traces)."""
+    return json.dumps(event, sort_keys=True, default=repr)
+
+
+def format_progress(event: Dict[str, Any]) -> Optional[str]:
+    """The engine's historical progress line for an event, or None.
+
+    These strings are a compatibility surface: ``sweep``'s stderr output
+    predates the telemetry bus and is asserted on by tests and parsed by
+    eyeballs, so the bus renders the same lines from structured events.
+    """
+    kind = event.get("event")
+    if kind == "sweep_start":
+        return (
+            f"[{event['scenario']}] {event['jobs']} jobs: "
+            f"{event['cache_hits']} cache hits, {event['to_run']} to run"
+        )
+    if kind == "job_end" and event.get("status") == "completed":
+        return (
+            f"[{event['scenario']}] job {event['done']}/{event['total']} "
+            f"done: {event['algorithm']} ({event['wall_time']:.3f}s)"
+        )
+    if kind == "job_end" and event.get("status") == "failed":
+        return (
+            f"[{event['scenario']}] job {event['done']}/{event['total']} "
+            f"FAILED: {event['algorithm']} ({event.get('error', '?')})"
+        )
+    if kind == "log":
+        return str(event.get("message", ""))
+    return None
+
+
+def format_event(event: Dict[str, Any]) -> str:
+    """A compact one-line rendering of any event (verbose console)."""
+    kind = event.get("event", "?")
+    fields = " ".join(
+        f"{key}={event[key]!r}"
+        for key in sorted(event)
+        if key not in _ENVELOPE_FIELDS
+    )
+    return f"· {kind}" + (f" {fields}" if fields else "")
+
+
+class Sink:
+    """Base sink: consume events, release resources on close."""
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Idempotent resource release (files, handles)."""
+
+
+class MemorySink(Sink):
+    """Accumulates events in order for in-process inspection."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class JsonlSink(Sink):
+    """Streams events to ``path`` as JSONL, flushed per event.
+
+    The file is created lazily on the first event (truncating any
+    previous stream); a close/reopen cycle appends, so one sink path
+    survives multiple attach/close rounds without losing events.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._handle = None
+        self._created = False
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open(
+                "a" if self._created else "w", encoding="utf-8"
+            )
+            self._created = True
+        self._handle.write(encode_event(event) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class CallbackSink(Sink):
+    """Adapts a ``str -> None`` progress logger into a sink.
+
+    Only events with a legacy progress rendering produce a call, so an
+    engine run logging through this sink emits byte-identical lines to
+    the pre-telemetry runner.
+    """
+
+    def __init__(self, log: Callable[[str], None]) -> None:
+        self._log = log
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        line = format_progress(event)
+        if line is not None:
+            self._log(line)
+
+
+class ConsoleSink(Sink):
+    """Human-readable event lines on a stream (stderr by default).
+
+    ``verbose=False`` renders only the legacy progress lines;
+    ``verbose=True`` additionally prints every other event in compact
+    ``· kind key=value`` form (the ``--verbose`` CLI mode).
+    """
+
+    def __init__(self, stream=None, verbose: bool = False) -> None:
+        self._stream = stream
+        self.verbose = verbose
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        line = format_progress(event)
+        if line is None and self.verbose:
+            line = format_event(event)
+        if line is not None:
+            print(line, file=self._stream or sys.stderr, flush=True)
+
+
+def read_events(path) -> List[Dict[str, Any]]:
+    """Load a JSONL event stream back (the offline half of ``repro
+    trace``); blank lines are skipped."""
+    events = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

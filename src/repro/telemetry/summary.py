@@ -1,0 +1,158 @@
+"""Phase tables and run diffs over telemetry event streams.
+
+The ``repro trace`` subcommand's logic: reduce a captured (or loaded)
+event stream to the per-phase rounds / messages / bits table that
+mirrors the paper's complexity accounting, and diff two streams'
+*logical* metrics — the deterministic columns that must agree across
+ledger engines and code versions, wall time explicitly excluded.
+"""
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: The deterministic per-phase columns (wall time is environment noise
+#: and never part of a diff verdict).
+LOGICAL_COLUMNS = ("rounds", "messages", "bits")
+
+
+def manifest_of(events: Sequence[Mapping[str, Any]]) -> Optional[Dict[str, Any]]:
+    """The first manifest event's payload, if the stream carries one."""
+    for event in events:
+        if event.get("event") == "manifest":
+            return {k: v for k, v in event.items() if k not in ("event", "seq", "t")}
+    return None
+
+
+def phase_rows(events: Sequence[Mapping[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-phase rows from a stream's ``phase`` events, merged in
+    first-seen order (a phase re-entered later accumulates)."""
+    order: List[str] = []
+    acc: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        if event.get("event") != "phase":
+            continue
+        name = str(event.get("phase", "(unattributed)"))
+        row = acc.get(name)
+        if row is None:
+            row = acc[name] = {
+                "phase": name, "rounds": 0, "messages": 0,
+                "bits": 0, "wall_time": 0.0,
+            }
+            order.append(name)
+        row["rounds"] += event.get("rounds", 0) or 0
+        row["messages"] += event.get("messages", 0) or 0
+        row["bits"] += event.get("bits", 0) or 0
+        row["wall_time"] += event.get("wall_time", 0.0) or 0.0
+    return [acc[name] for name in order]
+
+
+def totals_of(rows: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    return {
+        "rounds": sum(r["rounds"] for r in rows),
+        "messages": sum(r["messages"] for r in rows),
+        "bits": sum(r["bits"] for r in rows),
+        "wall_time": sum(r["wall_time"] for r in rows),
+    }
+
+
+def render_summary(
+    events: Sequence[Mapping[str, Any]], title: str = ""
+) -> str:
+    """The ``repro trace summary`` table: per-phase rounds / messages /
+    bits / wall seconds plus totals, headed by the run manifest."""
+    manifest = manifest_of(events)
+    rows = phase_rows(events)
+    lines = []
+    if title:
+        lines.append(f"== trace summary: {title} ==")
+    if manifest is not None:
+        workload = manifest.get("workload") or {}
+        described = " ".join(
+            f"{key}={workload[key]}" for key in sorted(workload)
+        )
+        lines.append(
+            f"run {manifest.get('run_id')}"
+            + (f"  git {manifest['git']}" if manifest.get("git") else "")
+        )
+        if described:
+            lines.append(f"workload: {described}")
+    if not rows:
+        lines.append("no phase events in this stream")
+        return "\n".join(lines)
+    width = max([len(r["phase"]) for r in rows] + [len("phase"), len("total")])
+    lines.append(
+        f"{'phase'.ljust(width)} {'rounds':>8s} {'messages':>10s} "
+        f"{'bits':>12s} {'wall s':>9s}"
+    )
+    for row in rows:
+        lines.append(
+            f"{row['phase'].ljust(width)} {row['rounds']:8d} "
+            f"{row['messages']:10d} {row['bits']:12d} "
+            f"{row['wall_time']:9.4f}"
+        )
+    totals = totals_of(rows)
+    lines.append(
+        f"{'total'.ljust(width)} {totals['rounds']:8d} "
+        f"{totals['messages']:10d} {totals['bits']:12d} "
+        f"{totals['wall_time']:9.4f}"
+    )
+    return "\n".join(lines)
+
+
+def diff_streams(
+    events_a: Sequence[Mapping[str, Any]],
+    events_b: Sequence[Mapping[str, Any]],
+    label_a: str = "a",
+    label_b: str = "b",
+) -> Tuple[bool, str]:
+    """Compare two streams' logical per-phase metrics.
+
+    Returns ``(identical, report)``: identical is True iff both streams
+    narrate the same phase set with equal rounds / messages / bits per
+    phase (wall time is environment noise and never judged).
+    """
+    rows_a = {r["phase"]: r for r in phase_rows(events_a)}
+    rows_b = {r["phase"]: r for r in phase_rows(events_b)}
+    order = list(rows_a)
+    order.extend(name for name in rows_b if name not in rows_a)
+    width = max([len(name) for name in order] + [len("phase"), len("total")])
+    lines = [
+        f"== trace diff: {label_a} vs {label_b} (logical metrics) ==",
+        f"{'phase'.ljust(width)} {'column':>9s} {label_a:>12s} "
+        f"{label_b:>12s}  verdict",
+    ]
+    identical = True
+    zero = {"rounds": 0, "messages": 0, "bits": 0}
+
+    def _compare(name: str, a: Mapping[str, Any], b: Mapping[str, Any]) -> None:
+        nonlocal identical
+        for column in LOGICAL_COLUMNS:
+            same = a[column] == b[column]
+            if not same:
+                identical = False
+            lines.append(
+                f"{name.ljust(width)} {column:>9s} {a[column]:12d} "
+                f"{b[column]:12d}  {'=' if same else 'DIFFERS'}"
+            )
+
+    for name in order:
+        a = rows_a.get(name)
+        b = rows_b.get(name)
+        if a is None or b is None:
+            identical = False
+            missing = label_a if a is None else label_b
+            lines.append(
+                f"{name.ljust(width)} {'(phase)':>9s} "
+                f"{'—':>12s} {'—':>12s}  MISSING in {missing}"
+            )
+            _compare(name, a or dict(zero, phase=name), b or dict(zero, phase=name))
+            continue
+        _compare(name, a, b)
+    totals_a = totals_of(rows_a.values())
+    totals_b = totals_of(rows_b.values())
+    _compare("total", totals_a, totals_b)
+    lines.append(
+        "logical metrics identical"
+        if identical
+        else "logical metrics DIFFER"
+    )
+    return identical, "\n".join(lines)
