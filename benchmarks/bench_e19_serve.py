@@ -1,0 +1,137 @@
+"""E19 — load benchmark of the ``repro serve`` daemon.
+
+Measures the serving layer, not the solver: every request is a
+single-job ScenarioSpec over a ~1 ms moat-growing instance (see
+:data:`repro.serve.loadgen.DEFAULT_WORKLOAD`), so the numbers are
+dominated by framing, dedup, admission, and the warm pool — the things
+this subsystem adds.
+
+Two views land in ``BENCH_serve.json``:
+
+* **throughput entries** — requests/sec at 0%, 50%, and 100% cache-hit
+  ratios, each with 1 and 8 concurrent client processes. The request
+  mix is constructed so the ``requests`` and ``hits`` columns are exact
+  (warm names pre-submitted once; miss names unique per client), which
+  is what lets ``repro bench check`` re-measure entries and compare
+  those columns exactly, like the engine benches compare rounds.
+* **latency** — the headline daemon-vs-CLI comparison: the same cached
+  request answered by the warm daemon vs a cold ``repro batch``
+  process. Acceptance bar: the warm hit is **≥ 5×** faster than paying
+  a fresh interpreter.
+
+Environment knobs:
+
+* ``E19_REQUESTS`` — requests per client per config (default ``16``;
+  this is the entry's ``n``, kept under the gate's size cap).
+* ``E19_CLIENTS`` — comma-separated client counts (default ``1,8``).
+* ``E19_RATIOS`` — comma-separated hit percentages (default ``0,50,100``).
+* ``E19_OUTPUT`` — where to write the JSON (default
+  ``BENCH_serve.json`` in the repo root).
+"""
+
+import json
+import os
+from pathlib import Path
+
+from benchmarks.conftest import print_table
+from repro.serve.loadgen import (
+    DEFAULT_WORKLOAD,
+    config_label,
+    measure_config,
+    measure_latency,
+)
+
+PER_CLIENT = int(os.environ.get("E19_REQUESTS", "16"))
+CLIENTS = [
+    int(count) for count in os.environ.get("E19_CLIENTS", "1,8").split(",")
+]
+RATIOS = [
+    int(pct) for pct in os.environ.get("E19_RATIOS", "0,50,100").split(",")
+]
+OUTPUT = Path(
+    os.environ.get(
+        "E19_OUTPUT", Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+    )
+)
+SPEEDUP_BAR = 5.0  # warm daemon hit vs cold CLI on the same cached request
+#: Aggregate-throughput bar for 8 clients vs 1, scaled to the machine:
+#: parallel speedup is bounded by cores (the clients, the daemon loop,
+#: and the workers all compete for them), so on a multi-core box we ask
+#: for half the core-limited ideal, and on a single core we ask that
+#: throughput merely *hold* under 8-way concurrency (no collapse from
+#: contention) — the daemon still wins there on latency, not bandwidth.
+CORES = os.cpu_count() or 1
+SCALING_BAR = 0.7 if CORES == 1 else min(4.0, 0.5 * min(8, CORES))
+
+
+def measure_all():
+    entries = []
+    for hit_pct in RATIOS:
+        for clients in CLIENTS:
+            label = config_label(hit_pct, clients)
+            entries.append(
+                measure_config(DEFAULT_WORKLOAD, PER_CLIENT, label)
+            )
+    latency = measure_latency(DEFAULT_WORKLOAD)
+    return entries, latency
+
+
+def _rps(entries, hit_pct, clients):
+    label = config_label(hit_pct, clients)
+    return next(e["rps"] for e in entries if e["backend"] == label)
+
+
+def test_e19_serve_load(benchmark):
+    entries, latency = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    print_table(
+        f"E19: repro serve, {PER_CLIENT} requests/client of a ~1 ms job",
+        ("config", "requests", "hits", "executed", "seconds", "req/s"),
+        [
+            (
+                entry["backend"],
+                entry["requests"],
+                entry["hits"],
+                entry["executed"],
+                f"{entry['seconds']:.3f}",
+                f"{entry['rps']:.0f}",
+            )
+            for entry in entries
+        ],
+    )
+    print(
+        f"\nwarm daemon hit: {latency['warm_hit_seconds'] * 1000:.2f} ms   "
+        f"cold CLI: {latency['cold_cli_seconds'] * 1000:.0f} ms   "
+        f"speedup: {latency['speedup']:.1f}x"
+    )
+    OUTPUT.parent.mkdir(parents=True, exist_ok=True)
+    OUTPUT.write_text(
+        json.dumps(
+            {
+                "experiment": "e19-serve",
+                "workload": dict(DEFAULT_WORKLOAD),
+                "per_client_requests": PER_CLIENT,
+                "clients": CLIENTS,
+                "hit_ratios": RATIOS,
+                "entries": entries,
+                "latency": latency,
+                "cpu_count": CORES,
+                "scaling_bar": SCALING_BAR,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    # Acceptance bars (only on the full default sweep — a reduced
+    # E19_* environment is an artifact-freshness run, not a judgment).
+    if 8 in CLIENTS and 1 in CLIENTS and set(RATIOS) >= {0, 100}:
+        assert latency["speedup"] >= SPEEDUP_BAR, (
+            f"warm daemon hit is only {latency['speedup']:.1f}x faster "
+            f"than the cold CLI (< {SPEEDUP_BAR}x bar)"
+        )
+        for hit_pct in RATIOS:
+            scaling = _rps(entries, hit_pct, 8) / _rps(entries, hit_pct, 1)
+            assert scaling >= SCALING_BAR, (
+                f"8 clients at {hit_pct}% hits scale only {scaling:.2f}x "
+                f"over 1 client (< {SCALING_BAR}x bar)"
+            )

@@ -21,6 +21,12 @@ Commands:
   captured JSONL stream), and logical-metric diffs across backends.
 * ``bench`` — the ``bench check`` regression gate: re-measure the
   committed BENCH_*.json trajectory and compare.
+* ``serve`` — run the solver daemon: a warm worker pool behind a unix
+  (or TCP) socket, serving cache hits in microseconds, deduplicating
+  identical in-flight requests across clients, and streaming job
+  telemetry to subscribed connections.
+* ``submit`` — send one or more scenario requests to a running daemon.
+* ``ping`` — liveness / stats probe of a running daemon.
 
 The engine subcommands (``sweep``/``batch``/``suite``/``profile``)
 share ``--quiet`` / ``--verbose`` / ``--telemetry PATH`` flags mapping
@@ -325,6 +331,107 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream the gate's telemetry events to PATH as JSONL",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the solver daemon (warm pool behind a socket)",
+    )
+    _add_serve_endpoint(serve)
+    serve.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"result store path (JSONL; default {DEFAULT_STORE})",
+    )
+    serve.add_argument(
+        "--no-store",
+        action="store_true",
+        help="serve from memory only (nothing persists across restarts)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="warm worker-process count (default: cpu count)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="jobs inside the pool at once (default: worker count)",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=1024,
+        help="admission bound: jobs admitted but unfinished before "
+        "submits are rejected as overloaded (default 1024)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=100.0,
+        help="per-connection request rate cap in requests/s (default 100)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=float,
+        default=200.0,
+        help="per-connection burst allowance (default 200)",
+    )
+    verbosity = serve.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--quiet", action="store_true",
+        help="no per-job progress lines on stderr",
+    )
+    verbosity.add_argument(
+        "--verbose", action="store_true",
+        help="print every telemetry event on stderr",
+    )
+    serve.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream the daemon's telemetry events to PATH as JSONL",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit scenario requests to a running daemon"
+    )
+    _add_serve_endpoint(submit)
+    submit.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="registered scenario to request (repeatable)",
+    )
+    submit.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="JSON file with one ScenarioSpec object or a list of them",
+    )
+    submit.add_argument(
+        "--stream",
+        action="store_true",
+        help="subscribe to job-lifecycle events (printed on stderr)",
+    )
+    submit.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the returned records to PATH as JSONL",
+    )
+
+    ping = sub.add_parser(
+        "ping", help="liveness / stats probe of a running daemon"
+    )
+    _add_serve_endpoint(ping)
+    ping.add_argument(
+        "--stats",
+        action="store_true",
+        help="also fetch and print the server's counters",
+    )
+
     report = sub.add_parser("report", help="aggregate a result store")
     report.add_argument("--store", default=DEFAULT_STORE)
     report.add_argument(
@@ -408,6 +515,27 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="PATH",
         help="stream the run's telemetry events to PATH as JSONL",
+    )
+
+
+def _add_serve_endpoint(parser: argparse.ArgumentParser) -> None:
+    """Daemon endpoint flags shared by ``serve``/``submit``/``ping``."""
+    parser.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="unix socket path (the usual endpoint)",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="TCP host when using --port (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port (alternative to --socket)",
     )
 
 
@@ -809,7 +937,11 @@ def _cmd_bench(args) -> int:
     if not paths:
         paths = [
             name
-            for name in ("BENCH_profile.json", "BENCH_backends.json")
+            for name in (
+                "BENCH_profile.json",
+                "BENCH_backends.json",
+                "BENCH_serve.json",
+            )
             if Path(name).is_file()
         ]
     if not paths:
@@ -841,6 +973,168 @@ def _cmd_bench(args) -> int:
     return 0 if report.ok else 1
 
 
+def _serve_telemetry(args) -> Any:
+    """The daemon's telemetry bus per the verbosity flags. Unlike the
+    batch commands there is no legacy log path — the daemon always runs
+    on an explicit bus (the welcome frame advertises its run id)."""
+    from repro.telemetry import ConsoleSink, JsonlSink, RunManifest, Telemetry
+
+    sinks: List[Any] = []
+    if args.telemetry is not None:
+        sinks.append(JsonlSink(args.telemetry))
+    if args.verbose:
+        sinks.append(ConsoleSink(verbose=True))
+    elif not args.quiet:
+        sinks.append(ConsoleSink(verbose=False))
+    manifest = RunManifest(workload={"service": "repro-serve"})
+    return Telemetry(manifest=manifest, sinks=sinks)
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.server import ServeServer
+    from repro.serve.service import SolverService
+
+    if args.socket is None and args.port is None:
+        print("error: serve needs --socket PATH or --port N", file=sys.stderr)
+        return 2
+    store = None if args.no_store else ResultStore(args.store)
+    telemetry = _serve_telemetry(args)
+
+    async def _run() -> None:
+        service = SolverService(
+            store=store,
+            max_workers=args.workers,
+            max_inflight=args.max_inflight,
+            max_pending=args.max_pending,
+            telemetry=telemetry,
+        )
+        await service.start()
+        server = ServeServer(service, rate=args.rate, burst=args.burst)
+        if args.socket is not None:
+            await server.start_unix(args.socket)
+            endpoint = f"unix:{args.socket}"
+        else:
+            await server.start_tcp(args.host, args.port)
+            endpoint = f"tcp:{args.host}:{args.port}"
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, stop.set)
+        print(
+            f"repro serve: listening on {endpoint} "
+            f"(workers={service.max_workers}, "
+            f"cached_keys={len(service._hot)})",
+            file=sys.stderr,
+        )
+        await server.serve_until(stop)
+        print("repro serve: drained and stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(_run())
+    finally:
+        telemetry.close()
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve.client import ServeClient, ServeClientError
+
+    requests: List[Tuple[str, Dict[str, Any]]] = []
+    if args.spec is not None:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if isinstance(data, dict):
+                data = [data]
+            for entry in data:
+                requests.append((str(entry.get("name", "<spec>")), entry))
+        except (OSError, json.JSONDecodeError, AttributeError) as exc:
+            print(
+                f"error: invalid spec file {args.spec}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    scenarios = list(args.scenario or ())
+    if not requests and not scenarios:
+        print(
+            "error: submit needs --scenario NAME and/or --spec FILE",
+            file=sys.stderr,
+        )
+        return 2
+
+    def show(event: Dict[str, Any]) -> None:
+        print(
+            f"  [{event.get('event', '?')}] "
+            f"{event.get('scenario', '')} "
+            f"{event.get('status', '')} "
+            f"({event.get('done', '?')}/{event.get('total', '?')})",
+            file=sys.stderr,
+        )
+
+    on_event = show if args.stream else None
+    records: List[Dict[str, Any]] = []
+    try:
+        with ServeClient(
+            socket_path=args.socket, host=args.host, port=args.port
+        ) as client:
+            for name in scenarios:
+                outcome = client.submit(
+                    scenario=name, stream=args.stream, on_event=on_event
+                )
+                _print_submit_row(name, outcome)
+                records.extend(outcome.records)
+            for name, payload in requests:
+                outcome = client.submit(
+                    spec=payload, stream=args.stream, on_event=on_event
+                )
+                _print_submit_row(name, outcome)
+                records.extend(outcome.records)
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.out is not None:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+def _print_submit_row(name: str, outcome: Any) -> None:
+    print(
+        f"scenario {name:20s} executed={outcome.executed:4d} "
+        f"cached={outcome.cached:4d} shared={outcome.shared:4d}"
+    )
+
+
+def _cmd_ping(args) -> int:
+    from repro.serve.client import ServeClient, ServeClientError
+
+    try:
+        with ServeClient(
+            socket_path=args.socket, host=args.host, port=args.port
+        ) as client:
+            pong = client.ping()
+            stats = client.stats() if args.stats else None
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"server    : {pong.get('server')}")
+    print(f"uptime    : {pong.get('uptime')}s")
+    print(f"draining  : {pong.get('draining')}")
+    if stats is not None:
+        for key in sorted(stats):
+            if key in ("type", "id", "server"):
+                continue
+            print(f"{key:14s}: {stats[key]}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     store = ResultStore(args.store)
     records = store.select(
@@ -865,6 +1159,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": _cmd_profile,
         "trace": _cmd_trace,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "ping": _cmd_ping,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

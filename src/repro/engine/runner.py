@@ -11,6 +11,7 @@ import random
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
@@ -18,6 +19,7 @@ from repro.engine.algorithms import ALGORITHMS
 from repro.engine.jobs import Job, expand_jobs
 from repro.engine.registry import GRAPH_FAMILIES, ScenarioSpec
 from repro.engine.store import SCHEMA_VERSION, ResultStore
+from repro.exceptions import WorkerCrashError
 from repro.model.instance import SteinerForestInstance
 from repro.netmodel import build_network_model
 from repro.perf import PhaseProfiler, make_ledger_run
@@ -194,6 +196,13 @@ def _job_event(
     )
 
 
+#: Pool-crash retry budget per job: a job whose worker died once is
+#: retried in a fresh pool (jobs are pure, and the killer was probably a
+#: neighbour); a job in flight across two crashes is presumed poisonous
+#: and fails permanently.
+MAX_JOB_ATTEMPTS = 2
+
+
 def _run_jobs(
     jobs: List[Job],
     max_workers: Optional[int],
@@ -201,6 +210,7 @@ def _run_jobs(
     log: ProgressLog = None,
     scenario: str = "",
     telemetry: Optional[Any] = None,
+    worker: Callable[[Mapping[str, Any]], Dict[str, Any]] = execute_job,
 ) -> List[Dict[str, Any]]:
     payloads = [job.to_dict() for job in jobs]
     total = len(payloads)
@@ -232,7 +242,7 @@ def _run_jobs(
             _job_event(telemetry, "running", job,
                        done=len(records), total=total)
             try:
-                record = execute_job(payload)
+                record = worker(payload)
             except BaseException as exc:
                 fail(len(records) + 1, job, exc)
                 raise
@@ -244,22 +254,61 @@ def _run_jobs(
         # parallel and jobs are independent.
         max_workers = os.cpu_count() or 1
     results: List[Optional[Dict[str, Any]]] = [None] * total
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {}
-        for index, payload in enumerate(payloads):
-            futures[pool.submit(execute_job, payload)] = index
-            _job_event(telemetry, "queued", jobs[index],
-                       done=index + 1, total=total)
-        done = 0
-        for future in as_completed(futures):
-            index = futures[future]
-            done += 1
-            try:
-                results[index] = future.result()
-            except BaseException as exc:
-                fail(done, jobs[index], exc)
-                raise
-            note(done, jobs[index], results[index])
+    attempts = [0] * total
+    pending_indices = list(range(total))
+    crashed: List[int] = []
+    done = 0
+    for index in pending_indices:
+        _job_event(telemetry, "queued", jobs[index],
+                   done=index + 1, total=total)
+    while pending_indices:
+        broken: Optional[BaseException] = None
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                pool.submit(worker, payloads[index]): index
+                for index in pending_indices
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool as exc:
+                    # The pool is poisoned: every unfinished future will
+                    # raise the same error. Leave the loop and decide
+                    # per job below (retry in a fresh pool, or fail).
+                    broken = exc
+                    break
+                except BaseException as exc:
+                    done += 1
+                    fail(done, jobs[index], exc)
+                    raise
+                done += 1
+                note(done, jobs[index], results[index])
+        if broken is None:
+            break
+        # A worker died mid-sweep (killed process, OOM, segfault). Every
+        # unfinished job was either running in or queued behind the dead
+        # worker; charge each one an attempt, retry the ones with budget
+        # left in a fresh pool, and surface the rest as structured
+        # failures instead of wedging on the bare BrokenProcessPool.
+        unfinished = [i for i in pending_indices if results[i] is None]
+        retryable = []
+        for index in unfinished:
+            attempts[index] += 1
+            if attempts[index] < MAX_JOB_ATTEMPTS:
+                retryable.append(index)
+            else:
+                done += 1
+                crashed.append(index)
+                fail(done, jobs[index], broken)
+        pending_indices = retryable
+    if crashed:
+        raise WorkerCrashError(
+            f"worker process died while running {len(crashed)} job(s) "
+            f"(each retried once in a fresh pool; "
+            f"{total - len(crashed)} of {total} jobs completed)",
+            job_keys=[jobs[index].key for index in crashed],
+        )
     return results
 
 

@@ -19,6 +19,11 @@ import os
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
 
+try:  # POSIX advisory locks; absent on some platforms (see _locked_fd).
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
 #: v1: no network condition. v2: records carry ``network`` (canonical
 #: spec dict) and ``network_model`` (model name, the grouping field).
 #: v3: records additionally carry ``backend`` (canonical spec dict) and
@@ -119,6 +124,12 @@ class ResultStore:
 
         Input dicts are not mutated; the stamped copies land in the file
         and the in-memory cache.
+
+        Concurrent-writer safe: the whole batch is serialized to one
+        buffer and written through an ``O_APPEND`` descriptor under an
+        advisory ``flock`` (where available), so a daemon and a CLI
+        sweep appending to the same store cannot interleave partial
+        rows (pinned by ``tests/test_store_concurrency.py``).
         """
         rows = []
         for record in records:
@@ -128,9 +139,27 @@ class ResultStore:
         if not rows:
             return 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self.path.open("a", encoding="utf-8") as handle:
-            for row in rows:
-                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        blob = "".join(
+            json.dumps(row, sort_keys=True) + "\n" for row in rows
+        ).encode("utf-8")
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                # One buffer, one descriptor: O_APPEND positions each
+                # write at EOF atomically, and the lock serializes the
+                # (rare) multi-write case for large batches.
+                while blob:
+                    written = os.write(fd, blob)
+                    blob = blob[written:]
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
         if self._cache is not None:
             self._cache.extend(rows)
         return len(rows)

@@ -38,3 +38,19 @@ class SimulationError(ReproError):
     """Internal inconsistency in the round simulator (e.g. exceeding the
     configured maximum number of rounds, which usually indicates a
     non-terminating algorithm)."""
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker process died (killed, OOM, segfault) and the affected
+    jobs exhausted their retry budget.
+
+    Raised by the batch runner after every surviving job has completed
+    and every crash has been surfaced as a structured ``job_failed``
+    telemetry event — the sweep fails loudly and attributably instead of
+    aborting on a bare ``BrokenProcessPool``.
+    """
+
+    def __init__(self, message: str, job_keys=()):
+        super().__init__(message)
+        #: Cache keys of the jobs that could not be completed.
+        self.job_keys = tuple(job_keys)

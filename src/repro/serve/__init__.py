@@ -1,0 +1,48 @@
+"""Solver-as-a-service: the ``repro serve`` daemon and its client.
+
+The package splits along the transport boundary:
+
+* :mod:`repro.serve.protocol` — the newline-delimited JSON wire format
+  (versioned handshake, frame constructors, structured error codes);
+* :mod:`repro.serve.service` — the transport-independent core: one warm
+  :class:`~concurrent.futures.ProcessPoolExecutor`, the shared result
+  cache, cross-client request dedup, bounded admission, crash recovery;
+* :mod:`repro.serve.server` — the asyncio socket front-end (unix or
+  TCP) with per-connection rate caps and ordered streaming writes;
+* :mod:`repro.serve.client` — the blocking :class:`ServeClient` library
+  behind ``repro submit`` / ``repro ping``;
+* :mod:`repro.serve.loadgen` — shared load-generation used by the
+  committed benchmark (``BENCH_serve.json``), the ``repro bench check``
+  gate, and the CI smoke harness (:mod:`repro.serve.smoke`).
+"""
+
+from repro.serve.client import ServeClient, ServeClientError, SubmitResult
+from repro.serve.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import ServeServer, TokenBucket
+from repro.serve.service import (
+    BadRequestError,
+    OverloadedError,
+    ServiceError,
+    ShuttingDownError,
+    SolverService,
+    SubmitOutcome,
+    strip_volatile,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "BadRequestError",
+    "OverloadedError",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServeServer",
+    "ServiceError",
+    "ShuttingDownError",
+    "SolverService",
+    "SubmitOutcome",
+    "SubmitResult",
+    "TokenBucket",
+    "strip_volatile",
+]

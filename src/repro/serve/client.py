@@ -1,0 +1,246 @@
+"""``ServeClient``: the blocking client library for the solver daemon.
+
+A thin, dependency-free socket client speaking the protocol of
+:mod:`repro.serve.protocol`. It backs the ``repro submit`` / ``repro
+ping`` subcommands, the load benchmark's client processes, and the CI
+smoke harness — anything that wants warm-pool results without paying a
+cold interpreter.
+
+Usage::
+
+    with ServeClient(socket_path="serve.sock") as client:
+        client.ping()
+        outcome = client.submit(scenario="gnp-core", stream=True,
+                                on_event=print)
+        for record in outcome.records:
+            ...
+
+The client is deliberately synchronous: callers are CLI commands and
+benchmark workers whose whole request fits one round-trip; concurrency
+comes from running many clients, which is exactly what the daemon's
+shared pool and dedup are for.
+"""
+
+import socket
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.serve import protocol
+
+
+class ServeClientError(Exception):
+    """A structured error frame from the server (or a transport failure).
+
+    Attributes:
+        code: the server's error code (one of
+            :data:`repro.serve.protocol.ERROR_CODES`), or ``transport``
+            for connection-level failures.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class SubmitResult:
+    """What one submit returned: records plus serve-side accounting."""
+
+    def __init__(self, frame: Dict[str, Any]) -> None:
+        self.records: List[Dict[str, Any]] = list(frame.get("records", []))
+        self.executed: int = int(frame.get("executed", 0))
+        self.cached: int = int(frame.get("cached", 0))
+        self.shared: int = int(frame.get("shared", 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SubmitResult(records={len(self.records)}, "
+            f"executed={self.executed}, cached={self.cached}, "
+            f"shared={self.shared})"
+        )
+
+
+class ServeClient:
+    """A blocking connection to a ``repro serve`` daemon.
+
+    Args:
+        socket_path: unix socket to connect to (the common case).
+        host / port: TCP endpoint (used when ``socket_path`` is None).
+        name: client identity sent in the handshake (shows up in the
+            server's telemetry).
+        timeout: per-operation socket timeout in seconds; submits of
+            cold sweeps can take a while, so the default is generous.
+    """
+
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        name: str = "repro-client",
+        timeout: float = 600.0,
+    ) -> None:
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.name = name
+        self.timeout = timeout
+        self.server_info: Dict[str, Any] = {}
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._next_id = 0
+
+    # -- connection ------------------------------------------------------
+
+    def connect(self) -> Dict[str, Any]:
+        """Dial and handshake; returns the server's welcome payload."""
+        if self._sock is not None:
+            return self.server_info
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(str(self.socket_path))
+            elif self.port is not None:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            else:
+                raise ServeClientError(
+                    "transport", "need a socket_path or a host/port"
+                )
+        except OSError as exc:
+            raise ServeClientError(
+                "transport", f"cannot connect to the daemon: {exc}"
+            ) from exc
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+        self._send(protocol.hello_frame(client=self.name))
+        frame = self._recv()
+        if frame.get("type") == "error":
+            self.close()
+            raise ServeClientError(frame.get("code", "?"), frame.get("message", ""))
+        if frame.get("type") != "welcome":
+            self.close()
+            raise ServeClientError(
+                "transport", f"expected 'welcome', got {frame.get('type')!r}"
+            )
+        self.server_info = frame
+        return frame
+
+    def close(self) -> None:
+        """Send ``bye`` (best effort) and release the socket (idempotent)."""
+        if self._sock is None:
+            return
+        try:
+            self._send(protocol.bye_frame())
+        except (OSError, ServeClientError):  # pragma: no cover
+            pass
+        try:
+            self._reader.close()
+            self._sock.close()
+        finally:
+            self._sock = None
+            self._reader = None
+
+    def __enter__(self) -> "ServeClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- requests --------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip liveness probe; returns the pong payload."""
+        request_id = self._request_id()
+        self._send(protocol.ping_frame(request_id))
+        return self._await_reply(request_id, "pong")
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's live counters (requests, hits, dedup, pool)."""
+        request_id = self._request_id()
+        self._send(protocol.stats_frame(request_id))
+        return self._await_reply(request_id, "stats")
+
+    def submit(
+        self,
+        spec: Optional[Dict[str, Any]] = None,
+        scenario: Optional[str] = None,
+        stream: bool = False,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> SubmitResult:
+        """Submit one ScenarioSpec-shaped request and await its result.
+
+        Pass a full spec dict (``ScenarioSpec.to_dict`` shape) or the
+        name of a scenario registered on the server. With ``stream``
+        set, job-lifecycle telemetry events arrive as they happen and
+        are handed to ``on_event``.
+        """
+        request_id = self._request_id()
+        self._send(protocol.submit_frame(
+            request_id, spec=spec, scenario=scenario,
+            stream=stream or on_event is not None,
+        ))
+        frame = self._await_reply(request_id, "result", on_event=on_event)
+        return SubmitResult(frame)
+
+    # -- wire plumbing ---------------------------------------------------
+
+    def _request_id(self) -> str:
+        self._next_id += 1
+        return f"c{self._next_id}"
+
+    def _send(self, frame: Dict[str, Any]) -> None:
+        if self._sock is None:
+            self.connect()
+        try:
+            self._sock.sendall(protocol.encode_frame(frame))
+        except OSError as exc:
+            raise ServeClientError(
+                "transport", f"send failed: {exc}"
+            ) from exc
+
+    def _recv(self) -> Dict[str, Any]:
+        try:
+            line = self._reader.readline()
+        except OSError as exc:
+            raise ServeClientError(
+                "transport", f"receive failed: {exc}"
+            ) from exc
+        if not line:
+            raise ServeClientError(
+                "transport", "server closed the connection"
+            )
+        try:
+            return protocol.decode_frame(line)
+        except protocol.ProtocolError as exc:
+            raise ServeClientError(exc.code, str(exc)) from exc
+
+    def _await_reply(
+        self,
+        request_id: str,
+        terminal: str,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Read frames until the request's terminal frame arrives.
+
+        Streamed ``event`` frames for this request go to ``on_event``;
+        an ``error`` frame for this request raises
+        :class:`ServeClientError`.
+        """
+        while True:
+            frame = self._recv()
+            kind = frame.get("type")
+            frame_id = frame.get("id")
+            if kind == "event" and frame_id == request_id:
+                if on_event is not None:
+                    on_event(frame.get("event", {}))
+                continue
+            if kind == "error" and frame_id in (request_id, None):
+                raise ServeClientError(
+                    frame.get("code", "?"), frame.get("message", "")
+                )
+            if kind == terminal and frame_id == request_id:
+                return frame
+            # Frames for other requests on a shared connection are not
+            # expected from this synchronous client; ignore defensively.

@@ -1,0 +1,311 @@
+"""Load generation against a ``repro serve`` daemon.
+
+Shared by three consumers so they measure the same thing the same way:
+
+* ``benchmarks/bench_e19_serve.py`` — the committed load benchmark
+  (``BENCH_serve.json``: requests/sec at 0/50/100% cache-hit ratios,
+  1 vs 8 concurrent clients, and the warm-hit vs cold-CLI latency gap);
+* the ``repro bench check`` gate's ``e19-serve`` driver, which
+  re-measures committed entries;
+* ``repro.serve.smoke`` (the CI serve-smoke job), which reuses the
+  daemon-launching and spec-building helpers.
+
+Measurement design (determinism first): each request is a
+**single-job** ScenarioSpec over a tiny fixed workload; the scenario
+*name* carries a per-request suffix, and since the name is part of the
+job identity, every distinct name is a distinct cache key. Warm
+requests reuse names that were pre-submitted once (guaranteed hits —
+the cache only grows), miss requests use names unique to one client
+(guaranteed misses, no cross-client dedup races), so the ``hits``
+column of every entry is exact and reproducible — the bench gate
+compares it like the engine benches compare rounds.
+"""
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+import repro
+from repro.serve.client import ServeClient, ServeClientError
+
+#: The tiny per-request workload: one moat-growing job on G(12, 0.35).
+#: Small enough that a miss costs ~1 ms of solver time — the benchmark
+#: measures the *serving* layer, not the solver.
+DEFAULT_WORKLOAD: Dict[str, Any] = {
+    "family": "gnp",
+    "n": 12,
+    "p": 0.35,
+    "k": 2,
+    "component_size": 2,
+    "algorithm": "moat",
+}
+
+
+def single_job_spec(name: str, workload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """A ScenarioSpec dict that expands to exactly one job."""
+    w = dict(DEFAULT_WORKLOAD, **(workload or {}))
+    return {
+        "name": name,
+        "family": w["family"],
+        "algorithms": [w["algorithm"]],
+        "grid": {
+            key: w[key]
+            for key in w
+            if key not in ("family", "algorithm")
+        },
+        "seeds": 1,
+    }
+
+
+# -- daemon lifecycle ----------------------------------------------------
+
+def daemon_env() -> Dict[str, str]:
+    """A child environment whose PYTHONPATH can import this repro."""
+    src_dir = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_dir not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            src_dir + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+def launch_daemon(
+    socket_path: Any,
+    store_path: Optional[Any],
+    workers: int = 2,
+    telemetry: Optional[Any] = None,
+    extra_args: Tuple[str, ...] = (),
+    timeout: float = 30.0,
+) -> subprocess.Popen:
+    """Start ``repro serve`` as a subprocess and wait until it answers
+    a ping; returns the process handle (terminate with
+    :func:`stop_daemon`)."""
+    command = [
+        sys.executable, "-m", "repro", "serve",
+        "--socket", str(socket_path),
+        "--workers", str(workers),
+    ]
+    if store_path is None:
+        command.append("--no-store")
+    else:
+        command += ["--store", str(store_path)]
+    if telemetry is not None:
+        command += ["--telemetry", str(telemetry)]
+    command += list(extra_args)
+    process = subprocess.Popen(
+        command,
+        env=daemon_env(),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited with {process.returncode} before listening"
+            )
+        try:
+            with ServeClient(socket_path=str(socket_path), timeout=5.0) as client:
+                client.ping()
+            return process
+        except ServeClientError:
+            time.sleep(0.05)
+    process.terminate()
+    raise RuntimeError(f"daemon not answering pings after {timeout}s")
+
+
+def stop_daemon(process: subprocess.Popen, timeout: float = 30.0) -> int:
+    """Graceful SIGTERM shutdown; returns the exit code."""
+    if process.poll() is None:
+        process.terminate()
+        try:
+            process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+            process.kill()
+            process.wait(timeout=timeout)
+    return process.returncode
+
+
+# -- client fleet --------------------------------------------------------
+
+def _client_worker(socket_path, specs, barrier, results) -> None:
+    """One benchmark client process: connect, sync on the barrier, fire
+    every request sequentially, report totals."""
+    with ServeClient(socket_path=socket_path, name="bench-client") as client:
+        barrier.wait()
+        executed = cached = shared = 0
+        for spec in specs:
+            outcome = client.submit(spec=spec)
+            executed += outcome.executed
+            cached += outcome.cached
+            shared += outcome.shared
+        results.put({"executed": executed, "cached": cached, "shared": shared})
+
+
+def run_clients(
+    socket_path: Any, per_client_specs: List[List[Dict[str, Any]]]
+) -> Tuple[float, Dict[str, int]]:
+    """Run one spec list per client process; returns (wall seconds of
+    the request phase, summed serve-side accounting).
+
+    All clients connect first and rendezvous on a barrier the parent
+    also joins, so the timed window covers requests only — not process
+    spawn or connection setup.
+    """
+    barrier = multiprocessing.Barrier(len(per_client_specs) + 1)
+    results: multiprocessing.Queue = multiprocessing.Queue()
+    processes = [
+        multiprocessing.Process(
+            target=_client_worker,
+            args=(str(socket_path), specs, barrier, results),
+        )
+        for specs in per_client_specs
+    ]
+    for process in processes:
+        process.start()
+    barrier.wait()
+    started = time.perf_counter()
+    totals = {"executed": 0, "cached": 0, "shared": 0}
+    for _ in processes:
+        for key, value in results.get().items():
+            totals[key] += value
+    elapsed = time.perf_counter() - started
+    for process in processes:
+        process.join()
+        if process.exitcode != 0:
+            raise RuntimeError(f"benchmark client exited {process.exitcode}")
+    return elapsed, totals
+
+
+# -- one benchmark configuration ----------------------------------------
+
+def config_label(hit_pct: int, clients: int) -> str:
+    """The entry label encoding a configuration, e.g. ``hit50-c8``."""
+    return f"hit{hit_pct}-c{clients}"
+
+
+def parse_label(label: str) -> Tuple[int, int]:
+    """Inverse of :func:`config_label` (used by the bench-check gate)."""
+    hit_part, client_part = label.split("-c", 1)
+    if not hit_part.startswith("hit"):
+        raise ValueError(f"unparseable serve config label {label!r}")
+    return int(hit_part[3:]), int(client_part)
+
+
+def measure_config(
+    workload: Dict[str, Any],
+    per_client: int,
+    label: str,
+    nonce: str = "",
+    daemon_workers: int = 2,
+) -> Dict[str, Any]:
+    """Measure one (hit-ratio × client-count) configuration against a
+    fresh daemon; returns a BENCH_serve entry.
+
+    ``nonce`` namespaces the request scenario names (pass something
+    run-unique when sharing a store across measurements; a fresh
+    temp store — the default here — doesn't need it).
+    """
+    hit_pct, clients = parse_label(label)
+    warm_count = (per_client * hit_pct) // 100
+    miss_count = per_client - warm_count
+    warm_specs = [
+        single_job_spec(f"warm{nonce}-{index}", workload)
+        for index in range(warm_count)
+    ]
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        socket_path = Path(tmp) / "serve.sock"
+        store_path = Path(tmp) / "store.jsonl"
+        daemon = launch_daemon(
+            socket_path, store_path, workers=daemon_workers
+        )
+        try:
+            if warm_specs:
+                with ServeClient(socket_path=str(socket_path)) as client:
+                    for spec in warm_specs:
+                        client.submit(spec=spec)
+            per_client_specs = []
+            for client_index in range(clients):
+                specs = list(warm_specs)
+                specs += [
+                    single_job_spec(
+                        f"miss{nonce}-c{client_index}-{index}", workload
+                    )
+                    for index in range(miss_count)
+                ]
+                per_client_specs.append(specs)
+            elapsed, totals = run_clients(socket_path, per_client_specs)
+        finally:
+            stop_daemon(daemon)
+    requests = clients * per_client
+    return {
+        "n": per_client,
+        "backend": label,
+        "seconds": elapsed,
+        "requests": requests,
+        "hits": totals["cached"],
+        "executed": totals["executed"],
+        "shared": totals["shared"],
+        "rps": requests / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+# -- warm-hit vs cold-CLI latency ---------------------------------------
+
+def measure_latency(
+    workload: Dict[str, Any], repeats: int = 10
+) -> Dict[str, float]:
+    """The headline comparison: the same cached single-job request
+    served by the warm daemon vs a cold ``repro batch`` CLI process.
+
+    Both paths answer from the cache; the CLI pays a fresh interpreter
+    and imports every time — exactly what the daemon amortizes.
+    """
+    spec = single_job_spec("latency-probe", workload)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-lat-") as tmp:
+        socket_path = Path(tmp) / "serve.sock"
+        store_path = Path(tmp) / "store.jsonl"
+        spec_file = Path(tmp) / "spec.json"
+        spec_file.write_text(json.dumps(spec), encoding="utf-8")
+        daemon = launch_daemon(socket_path, store_path, workers=1)
+        try:
+            with ServeClient(socket_path=str(socket_path)) as client:
+                client.submit(spec=spec)  # compute once; now a warm hit
+                warm = []
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    outcome = client.submit(spec=spec)
+                    warm.append(time.perf_counter() - started)
+                    assert outcome.cached == 1
+        finally:
+            stop_daemon(daemon)
+        command = [
+            sys.executable, "-m", "repro", "batch", str(spec_file),
+            "--store", str(store_path), "--serial", "--quiet",
+        ]
+        cold = []
+        for _ in range(max(3, min(repeats, 5))):
+            started = time.perf_counter()
+            subprocess.run(
+                command,
+                env=daemon_env(),
+                check=True,
+                stdout=subprocess.DEVNULL,
+                stderr=subprocess.DEVNULL,
+            )
+            cold.append(time.perf_counter() - started)
+    warm_seconds = sorted(warm)[len(warm) // 2]
+    cold_seconds = min(cold)
+    return {
+        "warm_hit_seconds": warm_seconds,
+        "cold_cli_seconds": cold_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds > 0 else 0.0,
+    }

@@ -1,0 +1,199 @@
+"""The solver service's wire protocol: newline-delimited JSON frames.
+
+One message per line, UTF-8, ``\\n``-terminated — the same framing as
+the result store and every telemetry stream, so a captured conversation
+is greppable and replayable with the stock JSONL tooling. Every frame
+is a JSON object with a ``type`` field; request/response pairs correlate
+through a client-chosen ``id`` echoed back verbatim.
+
+Conversation shape::
+
+    client                                server
+    ------                                ------
+    {"type":"hello","protocol":1}   ->
+                                    <-    {"type":"welcome","protocol":1,...}
+    {"type":"submit","id":"r1",
+     "spec":{...},"stream":true}    ->
+                                    <-    {"type":"event","id":"r1",...}   (0+)
+                                    <-    {"type":"result","id":"r1",...}
+    {"type":"ping","id":"r2"}       ->
+                                    <-    {"type":"pong","id":"r2",...}
+    {"type":"bye"}                  ->    (connection closes)
+
+The handshake is mandatory: the first client frame must be ``hello``
+carrying :data:`PROTOCOL_VERSION`; any mismatch is answered with a
+structured ``error`` (code ``protocol-mismatch``) and the connection is
+closed, so old clients fail loudly instead of misparsing newer frames.
+
+Errors are always structured frames (:func:`error_frame`): a ``code``
+from :data:`ERROR_CODES` plus a human-readable ``message``. A malformed
+line (bad JSON, missing ``type``) gets ``code="malformed"`` and the
+conversation continues — NDJSON framing resynchronizes at the next
+newline — while frames exceeding :data:`MAX_FRAME_BYTES` are fatal to
+the connection (the stream offset is no longer trustworthy).
+"""
+
+import json
+from typing import Any, Dict, Optional
+
+#: Version of the wire protocol; bump on incompatible frame changes.
+#: The handshake rejects mismatches on both sides.
+PROTOCOL_VERSION = 1
+
+#: Hard per-frame size cap (a full sweep result set rides in one frame).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Structured error codes a server may answer with.
+E_MALFORMED = "malformed"          # unparseable frame / missing fields
+E_PROTOCOL = "protocol-mismatch"   # handshake version disagreement
+E_BAD_REQUEST = "bad-request"      # well-formed frame, invalid payload
+E_OVERLOADED = "overloaded"        # admission queue full, retry later
+E_RATE_LIMITED = "rate-limited"    # per-client request cap exceeded
+E_SHUTDOWN = "server-shutdown"     # daemon is draining, not accepting
+E_JOB_FAILED = "job-failed"        # a submitted job raised / crashed
+
+ERROR_CODES = (
+    E_MALFORMED,
+    E_PROTOCOL,
+    E_BAD_REQUEST,
+    E_OVERLOADED,
+    E_RATE_LIMITED,
+    E_SHUTDOWN,
+    E_JOB_FAILED,
+)
+
+#: Frame types a client may send.
+CLIENT_FRAMES = ("hello", "submit", "ping", "stats", "bye")
+
+
+class ProtocolError(Exception):
+    """A frame violated the wire protocol.
+
+    Attributes:
+        code: one of :data:`ERROR_CODES` (what the server answers with).
+        fatal: whether the connection can continue after the error
+            (malformed JSON on a complete line is recoverable; a frame
+            that overflowed the size cap is not).
+    """
+
+    def __init__(self, code: str, message: str, fatal: bool = False) -> None:
+        super().__init__(message)
+        self.code = code
+        self.fatal = fatal
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One wire frame: canonical JSON plus the newline terminator."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode_frame(line: bytes) -> Dict[str, Any]:
+    """Parse one received line into a frame dict.
+
+    Raises:
+        ProtocolError: not JSON, not an object, or missing ``type``.
+    """
+    if len(line) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            E_MALFORMED,
+            f"frame of {len(line)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap",
+            fatal=True,
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(E_MALFORMED, f"unparseable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            E_MALFORMED, f"frame must be a JSON object, got {type(message).__name__}"
+        )
+    if "type" not in message:
+        raise ProtocolError(E_MALFORMED, "frame has no 'type' field")
+    return message
+
+
+# -- frame constructors (kept together so both sides agree on shape) ----
+
+def hello_frame(client: str = "", protocol: int = PROTOCOL_VERSION) -> Dict[str, Any]:
+    """The client's opening handshake frame."""
+    return {"type": "hello", "protocol": protocol, "client": client}
+
+
+def welcome_frame(
+    server: str, run_id: str, protocol: int = PROTOCOL_VERSION, **extra: Any
+) -> Dict[str, Any]:
+    """The server's handshake acceptance."""
+    frame = {
+        "type": "welcome",
+        "protocol": protocol,
+        "server": server,
+        "run_id": run_id,
+    }
+    frame.update(extra)
+    return frame
+
+
+def submit_frame(
+    request_id: str,
+    spec: Optional[Dict[str, Any]] = None,
+    scenario: Optional[str] = None,
+    stream: bool = False,
+) -> Dict[str, Any]:
+    """A job-submission request: a full ScenarioSpec dict, or the name
+    of a scenario registered on the server."""
+    frame: Dict[str, Any] = {
+        "type": "submit", "id": request_id, "stream": bool(stream),
+    }
+    if spec is not None:
+        frame["spec"] = spec
+    if scenario is not None:
+        frame["scenario"] = scenario
+    return frame
+
+
+def ping_frame(request_id: str) -> Dict[str, Any]:
+    return {"type": "ping", "id": request_id}
+
+
+def stats_frame(request_id: str) -> Dict[str, Any]:
+    return {"type": "stats", "id": request_id}
+
+
+def bye_frame() -> Dict[str, Any]:
+    return {"type": "bye"}
+
+
+def event_frame(request_id: str, event: Dict[str, Any]) -> Dict[str, Any]:
+    """One streamed telemetry event scoped to a submit request."""
+    return {"type": "event", "id": request_id, "event": event}
+
+
+def result_frame(
+    request_id: str,
+    records: Any,
+    executed: int,
+    cached: int,
+    shared: int,
+) -> Dict[str, Any]:
+    """The terminal success frame of a submit request."""
+    return {
+        "type": "result",
+        "id": request_id,
+        "records": records,
+        "executed": executed,
+        "cached": cached,
+        "shared": shared,
+    }
+
+
+def error_frame(
+    code: str, message: str, request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """A structured error; scoped to a request when ``request_id`` is set."""
+    frame: Dict[str, Any] = {"type": "error", "code": code, "message": message}
+    if request_id is not None:
+        frame["id"] = request_id
+    return frame

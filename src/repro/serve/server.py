@@ -1,0 +1,352 @@
+"""The ``repro serve`` daemon: an asyncio socket front-end on the service.
+
+One :class:`ServeServer` listens on a unix socket (the default — CI and
+local use) or a TCP port, speaks the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol`, and multiplexes every connection onto one
+shared :class:`~repro.serve.service.SolverService` (one warm pool, one
+cache, cross-client dedup).
+
+Per-connection discipline:
+
+* **handshake first** — the opening frame must be ``hello`` with the
+  matching protocol version, or the connection is answered with a
+  structured ``protocol-mismatch`` error and closed;
+* **rate caps** — a token bucket per connection (``rate`` requests/s,
+  ``burst`` capacity); a submit over the cap gets ``rate-limited`` but
+  keeps the connection;
+* **ordered writes** — all outbound frames go through one per-connection
+  queue drained by a single writer task, so a request's streamed events
+  always precede its result frame regardless of task interleaving;
+* **graceful shutdown** — :meth:`ServeServer.shutdown` stops accepting,
+  rejects new submits with ``server-shutdown``, waits for in-flight
+  jobs to finish and their results to be delivered, then closes.
+
+The handler is transport-agnostic (anything with the
+``StreamReader``/``StreamWriter`` surface), which is how the protocol
+tests drive golden conversations through an in-memory transport without
+opening sockets.
+"""
+
+import asyncio
+import time
+from typing import Any, Dict, Optional
+
+from repro.serve import protocol
+from repro.serve.service import (
+    BadRequestError,
+    OverloadedError,
+    ShuttingDownError,
+    SolverService,
+)
+
+#: Default per-connection rate cap: requests per second / bucket size.
+DEFAULT_RATE = 100.0
+DEFAULT_BURST = 200.0
+
+
+class TokenBucket:
+    """Classic token bucket; ``clock`` injectable for deterministic tests."""
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def take(self, tokens: float = 1.0) -> bool:
+        """Consume ``tokens`` if available; False means rate-limited."""
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+
+class ServeServer:
+    """The protocol front-end over one shared :class:`SolverService`."""
+
+    def __init__(
+        self,
+        service: SolverService,
+        rate: float = DEFAULT_RATE,
+        burst: float = DEFAULT_BURST,
+        clock=time.monotonic,
+        name: str = "repro-serve",
+    ) -> None:
+        self.service = service
+        self.rate = rate
+        self.burst = burst
+        self.name = name
+        self._clock = clock
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections = 0
+        self._shutting_down = False
+        self._started = clock()
+
+    # -- listening -------------------------------------------------------
+
+    async def start_unix(self, path: str) -> None:
+        self._server = await asyncio.start_unix_server(
+            self.handle_connection, path=path,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+
+    async def start_tcp(self, host: str, port: int) -> None:
+        self._server = await asyncio.start_server(
+            self.handle_connection, host=host, port=port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+
+    async def serve_until(self, stop: asyncio.Event) -> None:
+        """Serve until ``stop`` is set, then shut down gracefully."""
+        async with self._server:
+            await self._server.start_serving()
+            await stop.wait()
+            await self.shutdown()
+
+    async def shutdown(self) -> None:
+        """Graceful shutdown: stop accepting, drain running jobs."""
+        self._shutting_down = True
+        if self._server is not None:
+            self._server.close()
+        # Draining waits for every admitted job; handler tasks deliver
+        # their result frames before the connections close.
+        await self.service.drain()
+        await self.service.close(drain=False)
+        if self._server is not None:
+            await self._server.wait_closed()
+
+    # -- the per-connection protocol loop --------------------------------
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: Any
+    ) -> None:
+        """Run one connection to completion (public: tests drive this
+        directly with in-memory reader/writer pairs)."""
+        self._connections += 1
+        self._emit("client_connect", connections=self._connections)
+        outbound: asyncio.Queue = asyncio.Queue()
+        writer_task = asyncio.create_task(self._drain_outbound(outbound, writer))
+        bucket = TokenBucket(self.rate, self.burst, clock=self._clock)
+        requests: set = set()
+        try:
+            if not await self._handshake(reader, outbound):
+                return
+            while True:
+                try:
+                    frame = await self._read_frame(reader)
+                except protocol.ProtocolError as exc:
+                    outbound.put_nowait(
+                        protocol.error_frame(exc.code, str(exc))
+                    )
+                    if exc.fatal:
+                        return
+                    continue
+                if frame is None or frame.get("type") == "bye":
+                    return
+                kind = frame.get("type")
+                if kind == "ping":
+                    outbound.put_nowait(self._pong(frame))
+                elif kind == "stats":
+                    outbound.put_nowait(self._stats(frame))
+                elif kind == "submit":
+                    request_id = str(frame.get("id", ""))
+                    if not bucket.take():
+                        self._count("serve.rate_limited")
+                        outbound.put_nowait(protocol.error_frame(
+                            protocol.E_RATE_LIMITED,
+                            f"per-client cap of {self.rate:g} requests/s "
+                            "exceeded; slow down",
+                            request_id,
+                        ))
+                        continue
+                    task = asyncio.create_task(
+                        self._handle_submit(frame, request_id, outbound)
+                    )
+                    requests.add(task)
+                    task.add_done_callback(requests.discard)
+                else:
+                    outbound.put_nowait(protocol.error_frame(
+                        protocol.E_BAD_REQUEST,
+                        f"unknown frame type {kind!r}; "
+                        f"expected one of {list(protocol.CLIENT_FRAMES)}",
+                        frame.get("id"),
+                    ))
+        finally:
+            if requests:
+                await asyncio.gather(*requests, return_exceptions=True)
+            await outbound.join()
+            writer_task.cancel()
+            self._connections -= 1
+            self._emit("client_disconnect", connections=self._connections)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _handshake(
+        self, reader: asyncio.StreamReader, outbound: asyncio.Queue
+    ) -> bool:
+        try:
+            frame = await self._read_frame(reader)
+        except protocol.ProtocolError as exc:
+            outbound.put_nowait(protocol.error_frame(exc.code, str(exc)))
+            return False
+        if frame is None:
+            return False
+        if frame.get("type") != "hello":
+            outbound.put_nowait(protocol.error_frame(
+                protocol.E_PROTOCOL,
+                f"expected a 'hello' handshake, got {frame.get('type')!r}",
+            ))
+            return False
+        version = frame.get("protocol")
+        if version != protocol.PROTOCOL_VERSION:
+            outbound.put_nowait(protocol.error_frame(
+                protocol.E_PROTOCOL,
+                f"protocol version {version!r} unsupported; "
+                f"server speaks {protocol.PROTOCOL_VERSION}",
+            ))
+            return False
+        run_id = (
+            self.service.telemetry.run_id
+            if self.service.telemetry is not None else ""
+        )
+        outbound.put_nowait(protocol.welcome_frame(
+            server=self.name,
+            run_id=run_id,
+            workers=self.service.max_workers,
+            cached_keys=len(self.service._hot),
+        ))
+        return True
+
+    async def _read_frame(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Dict[str, Any]]:
+        """One frame off the wire; None on clean EOF.
+
+        An overlong line surfaces as a *fatal* ProtocolError — after a
+        ``LimitOverrunError`` the stream offset is mid-frame, so there
+        is no safe way to keep parsing.
+        """
+        try:
+            line = await reader.readline()
+        except (asyncio.LimitOverrunError, ValueError) as exc:
+            raise protocol.ProtocolError(
+                protocol.E_MALFORMED,
+                f"frame exceeds the {protocol.MAX_FRAME_BYTES}-byte cap",
+                fatal=True,
+            ) from exc
+        if not line:
+            return None
+        if line.strip() == b"":
+            # Blank lines are tolerated keep-alives, like everywhere
+            # else in the repo's JSONL surfaces.
+            return await self._read_frame(reader)
+        return protocol.decode_frame(line)
+
+    async def _handle_submit(
+        self,
+        frame: Dict[str, Any],
+        request_id: str,
+        outbound: asyncio.Queue,
+    ) -> None:
+        self._count("serve.requests")
+        if self._shutting_down or self.service.draining:
+            outbound.put_nowait(protocol.error_frame(
+                protocol.E_SHUTDOWN,
+                "server is draining; resubmit to the next instance",
+                request_id,
+            ))
+            return
+        try:
+            spec = self.service.resolve_spec(frame)
+        except BadRequestError as exc:
+            outbound.put_nowait(protocol.error_frame(
+                protocol.E_BAD_REQUEST, str(exc), request_id
+            ))
+            return
+        on_event = None
+        if frame.get("stream"):
+            # The telemetry-bus bridge: stamped events from the service
+            # go straight onto this connection, scoped to the request.
+            def on_event(event: Dict[str, Any]) -> None:
+                outbound.put_nowait(protocol.event_frame(request_id, event))
+        try:
+            outcome = await self.service.submit(spec, on_event=on_event)
+        except OverloadedError as exc:
+            self._count("serve.overloaded")
+            outbound.put_nowait(protocol.error_frame(
+                protocol.E_OVERLOADED, str(exc), request_id
+            ))
+            return
+        except ShuttingDownError as exc:
+            outbound.put_nowait(protocol.error_frame(
+                protocol.E_SHUTDOWN, str(exc), request_id
+            ))
+            return
+        except Exception as exc:  # job execution failed
+            outbound.put_nowait(protocol.error_frame(
+                protocol.E_JOB_FAILED, repr(exc), request_id
+            ))
+            return
+        outbound.put_nowait(protocol.result_frame(
+            request_id,
+            records=outcome.records,
+            executed=outcome.executed,
+            cached=outcome.cached,
+            shared=outcome.shared,
+        ))
+
+    # -- small replies ---------------------------------------------------
+
+    def _pong(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "type": "pong",
+            "id": frame.get("id"),
+            "server": self.name,
+            "uptime": round(self._clock() - self._started, 3),
+            "draining": self.service.draining,
+        }
+
+    def _stats(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "type": "stats",
+            "id": frame.get("id"),
+            "server": self.name,
+            "connections": self._connections,
+            "cached_keys": len(self.service._hot),
+            "pending": self.service._pending,
+            **self.service.stats.to_dict(),
+        }
+
+    # -- plumbing --------------------------------------------------------
+
+    async def _drain_outbound(
+        self, outbound: asyncio.Queue, writer: Any
+    ) -> None:
+        """The single writer task: strict FIFO frame delivery."""
+        while True:
+            message = await outbound.get()
+            try:
+                writer.write(protocol.encode_frame(message))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # Client went away; keep consuming so handlers finish.
+                pass
+            finally:
+                outbound.task_done()
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.service.telemetry is not None:
+            self.service.telemetry.emit(kind, **fields)
+
+    def _count(self, name: str) -> None:
+        if self.service.telemetry is not None:
+            self.service.telemetry.counter(name).inc()

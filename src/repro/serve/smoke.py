@@ -1,0 +1,224 @@
+"""The serve-smoke harness behind CI's serve-smoke job.
+
+``python -m repro.serve.smoke`` is self-contained end-to-end coverage
+of the daemon as deployed, not as unit-tested:
+
+1. launches ``repro serve`` as a real subprocess on a unix socket,
+   with a result store and a telemetry JSONL stream;
+2. fires a mixed hit/miss/dedup batch from **4 concurrent client
+   processes** (shared specs pre-warmed for hits, shared cold specs for
+   cross-client dedup, per-client unique specs for guaranteed misses);
+3. checks the daemon's answers are **byte-identical** to direct
+   in-process engine runs of the same specs (modulo the ``wall_time``
+   measurement — see :func:`repro.serve.service.strip_volatile`);
+4. checks streamed job-lifecycle events arrived on a streaming client;
+5. shuts down gracefully (SIGTERM) and requires exit code 0;
+6. verifies the telemetry stream bookends (``serve_start`` /
+   ``serve_end``) and leaves it as the CI artifact.
+
+Exit code 0 means every check passed; any failure raises with a
+diagnosable message.
+"""
+
+import argparse
+import json
+import multiprocessing
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.engine.jobs import expand_jobs
+from repro.engine.registry import ScenarioSpec
+from repro.engine.runner import execute_job
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import launch_daemon, single_job_spec, stop_daemon
+from repro.serve.service import strip_volatile
+
+CLIENTS = 4
+
+
+def _smoke_client(socket_path, specs, stream, results) -> None:
+    """One smoke client process: submit every spec, report stripped
+    records and the streamed-event count for verification."""
+    events: List[Dict[str, Any]] = []
+    with ServeClient(socket_path=socket_path, name="smoke-client") as client:
+        out = []
+        for spec in specs:
+            outcome = client.submit(
+                spec=spec,
+                stream=stream,
+                on_event=events.append if stream else None,
+            )
+            out.append({
+                "spec": spec["name"],
+                "records": [strip_volatile(r) for r in outcome.records],
+                "executed": outcome.executed,
+                "cached": outcome.cached,
+                "shared": outcome.shared,
+            })
+    results.put({"submits": out, "events": len(events), "stream": stream})
+
+
+def _direct_records(spec_dict: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The ground truth: the same spec run directly through the engine's
+    worker entry point, no daemon involved."""
+    spec = ScenarioSpec.from_dict(spec_dict)
+    return [
+        strip_volatile(execute_job(job.to_dict()))
+        for job in expand_jobs(spec)
+    ]
+
+
+def run_smoke(artifact_dir: Path) -> Dict[str, Any]:
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    telemetry_path = artifact_dir / "serve-telemetry.jsonl"
+    # Specs: 2 pre-warmed (hits for everyone), 2 shared-cold (one client
+    # computes, the rest dedup onto it), 2 unique per client (misses).
+    warm_specs = [single_job_spec(f"smoke-warm-{i}") for i in range(2)]
+    shared_specs = [single_job_spec(f"smoke-shared-{i}") for i in range(2)]
+    batches = []
+    for client_index in range(CLIENTS):
+        batch = list(warm_specs) + list(shared_specs)
+        batch += [
+            single_job_spec(f"smoke-solo-c{client_index}-{i}")
+            for i in range(2)
+        ]
+        batches.append(batch)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        socket_path = Path(tmp) / "serve.sock"
+        store_path = Path(tmp) / "store.jsonl"
+        daemon = launch_daemon(
+            socket_path, store_path, workers=2, telemetry=telemetry_path
+        )
+        try:
+            with ServeClient(socket_path=str(socket_path)) as client:
+                pong = client.ping()
+                assert pong.get("type") == "pong", pong
+                for spec in warm_specs:
+                    client.submit(spec=spec)
+            results: multiprocessing.Queue = multiprocessing.Queue()
+            processes = [
+                multiprocessing.Process(
+                    target=_smoke_client,
+                    args=(str(socket_path), batch, index == 0, results),
+                )
+                for index, batch in enumerate(batches)
+            ]
+            for process in processes:
+                process.start()
+            reports = [results.get() for _ in processes]
+            for process in processes:
+                process.join()
+                if process.exitcode != 0:
+                    raise RuntimeError(
+                        f"smoke client exited {process.exitcode}"
+                    )
+        finally:
+            code = stop_daemon(daemon)
+        if code != 0:
+            raise RuntimeError(f"daemon did not shut down cleanly: exit {code}")
+
+        # Byte-identical pin: every served answer equals the direct run.
+        expected: Dict[str, List[Dict[str, Any]]] = {}
+        mismatches = 0
+        checked = 0
+        for report in reports:
+            for submit in report["submits"]:
+                name = submit["spec"]
+                if name not in expected:
+                    expected[name] = _direct_records(
+                        single_job_spec(name)
+                    )
+                checked += 1
+                if submit["records"] != expected[name]:
+                    mismatches += 1
+                    print(
+                        f"MISMATCH for {name}:\n"
+                        f"  served: {json.dumps(submit['records'], sort_keys=True)[:400]}\n"
+                        f"  direct: {json.dumps(expected[name], sort_keys=True)[:400]}",
+                        file=sys.stderr,
+                    )
+        if mismatches:
+            raise RuntimeError(
+                f"{mismatches}/{checked} served answers differ from "
+                "direct engine runs"
+            )
+
+        # Accounting: warm specs were all hits; solo specs all executed.
+        total = {"executed": 0, "cached": 0, "shared": 0}
+        for report in reports:
+            for submit in report["submits"]:
+                for field in total:
+                    total[field] += submit[field]
+        hits = total["cached"]
+        if hits < CLIENTS * len(warm_specs):
+            raise RuntimeError(
+                f"expected at least {CLIENTS * len(warm_specs)} cache "
+                f"hits, saw {hits}"
+            )
+        # Shared-cold keys: exactly one client executed each; the rest
+        # were served by dedup or (if they arrived later) the cache.
+        if total["executed"] > CLIENTS * 2 + len(shared_specs):
+            raise RuntimeError(
+                f"dedup failed: {total['executed']} executions for "
+                f"{CLIENTS * 2 + len(shared_specs)} distinct cold keys"
+            )
+        streamed = sum(r["events"] for r in reports if r["stream"])
+        if streamed == 0:
+            raise RuntimeError("streaming client saw no telemetry events")
+
+        # The store holds each key exactly once despite 4 writers.
+        keys = [
+            json.loads(line)["key"]
+            for line in store_path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        if len(keys) != len(set(keys)):
+            raise RuntimeError("store contains duplicate keys")
+
+    kinds = [
+        json.loads(line).get("event")
+        for line in telemetry_path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    for bookend in ("serve_start", "serve_end"):
+        if bookend not in kinds:
+            raise RuntimeError(
+                f"telemetry stream missing the {bookend!r} bookend"
+            )
+    return {
+        "clients": CLIENTS,
+        "submits": checked,
+        "executed": total["executed"],
+        "cached": total["cached"],
+        "shared": total["shared"],
+        "streamed_events": streamed,
+        "telemetry_events": len(kinds),
+        "store_keys": len(keys),
+        "artifact": str(telemetry_path),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.smoke",
+        description="end-to-end smoke test of the repro serve daemon",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default="serve-smoke-artifacts",
+        help="where to leave the daemon's telemetry stream "
+        "(default: serve-smoke-artifacts/)",
+    )
+    args = parser.parse_args(argv)
+    summary = run_smoke(Path(args.artifact_dir))
+    print("serve-smoke: all checks passed")
+    for key, value in summary.items():
+        print(f"  {key:16s} {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

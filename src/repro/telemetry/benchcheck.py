@@ -91,7 +91,7 @@ def _compare(
     tolerance: float,
 ) -> CheckRow:
     mismatches = []
-    for column in ("rounds", "messages", "weight"):
+    for column in ("rounds", "messages", "weight", "requests", "hits"):
         if column not in committed:
             continue
         if measured[column] != committed[column]:
@@ -161,10 +161,28 @@ def _measure_floodmax(workload: Dict[str, Any], n: int, backend: str) -> Dict[st
     return {"seconds": elapsed, "rounds": rounds, "messages": sim.run.messages}
 
 
+def _measure_serve(workload: Dict[str, Any], n: int, backend: str) -> Dict[str, Any]:
+    """One BENCH_serve-style entry, re-measured (same load generation as
+    ``benchmarks/bench_e19_serve.py``): ``backend`` is the config label
+    (``hit<percent>-c<clients>``), ``n`` the per-client request count.
+    The request mix is constructed so ``requests`` and ``hits`` are
+    exact (see :mod:`repro.serve.loadgen`), which is what lets the gate
+    compare them like the engine benches compare rounds."""
+    from repro.serve.loadgen import measure_config
+
+    entry = measure_config(workload, per_client=n, label=backend)
+    return {
+        "seconds": entry["seconds"],
+        "requests": entry["requests"],
+        "hits": entry["hits"],
+    }
+
+
 #: Per-bench re-measurement drivers, keyed by the JSON's ``experiment``.
 _DRIVERS = {
     "e18-profile": _measure_pipeline,
     "e16-backends": _measure_floodmax,
+    "e19-serve": _measure_serve,
 }
 
 

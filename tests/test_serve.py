@@ -1,0 +1,536 @@
+"""The solver daemon: protocol goldens, service invariants, crash recovery.
+
+The transcript tests drive :meth:`ServeServer.handle_connection` through
+an in-memory transport (a real ``asyncio.StreamReader`` fed by hand and
+a buffer-backed writer) — no sockets, fully deterministic frame
+sequences. The service tests exercise the real warm
+``ProcessPoolExecutor`` (including killing its workers), and one
+end-to-end test runs the daemon on a real unix socket against the
+blocking :class:`ServeClient`.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.jobs import expand_jobs
+from repro.engine.registry import ScenarioSpec
+from repro.engine.runner import MAX_JOB_ATTEMPTS, _run_jobs, execute_job
+from repro.engine.store import ResultStore
+from repro.exceptions import WorkerCrashError
+from repro.serve import protocol
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.loadgen import single_job_spec
+from repro.serve.server import ServeServer, TokenBucket
+from repro.serve.service import (
+    BadRequestError,
+    OverloadedError,
+    ShuttingDownError,
+    SolverService,
+    strip_volatile,
+)
+from repro.telemetry import MemorySink, RunManifest, Telemetry
+
+# ---------------------------------------------------------------------------
+# pool workers (module-level: they must survive the fork into the pool)
+# ---------------------------------------------------------------------------
+
+CRASH_MARKER_ENV = "REPRO_TEST_CRASH_MARKER"
+
+
+def _slow_worker(payload):
+    time.sleep(0.25)
+    return execute_job(payload)
+
+
+def _crash_once_worker(payload):
+    """Dies (hard, like OOM) while the marker file exists; the marker is
+    removed first, so the retry in a fresh pool succeeds."""
+    marker = Path(os.environ[CRASH_MARKER_ENV])
+    if marker.exists():
+        marker.unlink()
+        os._exit(1)
+    return execute_job(payload)
+
+
+def _poison_worker(payload):
+    """Dies every time a poison-named job reaches it; healthy otherwise."""
+    if payload["scenario"].startswith("poison"):
+        os._exit(1)
+    return execute_job(payload)
+
+
+def _spec(name, **overrides):
+    data = single_job_spec(name)
+    data.update(overrides)
+    return ScenarioSpec.from_dict(data)
+
+
+# ---------------------------------------------------------------------------
+# wire protocol
+# ---------------------------------------------------------------------------
+
+def test_frame_round_trip():
+    frame = protocol.submit_frame("r1", spec={"name": "x"}, stream=True)
+    assert protocol.decode_frame(protocol.encode_frame(frame)) == frame
+    assert protocol.encode_frame(frame).endswith(b"\n")
+
+
+@pytest.mark.parametrize(
+    "line",
+    [b"not json\n", b"[1, 2]\n", b'{"no_type": 1}\n'],
+)
+def test_decode_rejects_malformed(line):
+    with pytest.raises(protocol.ProtocolError) as err:
+        protocol.decode_frame(line)
+    assert err.value.code == protocol.E_MALFORMED
+    assert not err.value.fatal
+
+
+def test_decode_oversized_frame_is_fatal():
+    line = b'{"type": "' + b"x" * protocol.MAX_FRAME_BYTES + b'"}\n'
+    with pytest.raises(protocol.ProtocolError) as err:
+        protocol.decode_frame(line)
+    assert err.value.fatal
+
+
+def test_token_bucket_with_injected_clock():
+    now = [0.0]
+    bucket = TokenBucket(rate=1.0, burst=2.0, clock=lambda: now[0])
+    assert bucket.take() and bucket.take()
+    assert not bucket.take()  # burst spent, no time has passed
+    now[0] = 1.0
+    assert bucket.take()  # one second refilled one token
+    assert not bucket.take()
+
+
+# ---------------------------------------------------------------------------
+# in-memory transport for golden transcripts
+# ---------------------------------------------------------------------------
+
+class MemoryWriter:
+    """The writer half of the in-memory transport: collects frames."""
+
+    def __init__(self):
+        self.buffer = bytearray()
+        self.closed = False
+
+    def write(self, data):
+        self.buffer.extend(data)
+
+    async def drain(self):
+        pass
+
+    def close(self):
+        self.closed = True
+
+    async def wait_closed(self):
+        pass
+
+    def frames(self):
+        return [
+            json.loads(line)
+            for line in bytes(self.buffer).decode("utf-8").splitlines()
+        ]
+
+
+async def converse(server, frames):
+    """Feed client frames (dicts, or raw bytes for malformed lines)
+    through one connection; returns every server frame in order."""
+    reader = asyncio.StreamReader()
+    for frame in frames:
+        reader.feed_data(
+            frame if isinstance(frame, bytes) else protocol.encode_frame(frame)
+        )
+    reader.feed_eof()
+    writer = MemoryWriter()
+    await server.handle_connection(reader, writer)
+    assert writer.closed
+    return writer.frames()
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def cold_server(**service_kwargs):
+    """A server over an unstarted service — handshake-layer tests only."""
+    return ServeServer(SolverService(store=None, **service_kwargs))
+
+
+# ---------------------------------------------------------------------------
+# handshake goldens
+# ---------------------------------------------------------------------------
+
+def test_handshake_welcome():
+    replies = run(converse(cold_server(), [protocol.hello_frame("me")]))
+    assert [f["type"] for f in replies] == ["welcome"]
+    assert replies[0]["protocol"] == protocol.PROTOCOL_VERSION
+
+
+def test_handshake_version_mismatch():
+    replies = run(converse(
+        cold_server(), [protocol.hello_frame("me", protocol=99)]
+    ))
+    assert [f["type"] for f in replies] == ["error"]
+    assert replies[0]["code"] == protocol.E_PROTOCOL
+    assert "99" in replies[0]["message"]
+
+
+def test_handshake_required_before_anything_else():
+    replies = run(converse(cold_server(), [protocol.ping_frame("r1")]))
+    assert [f["type"] for f in replies] == ["error"]
+    assert replies[0]["code"] == protocol.E_PROTOCOL
+
+
+def test_malformed_frame_keeps_the_connection():
+    replies = run(converse(cold_server(), [
+        protocol.hello_frame("me"),
+        b"this is not json\n",
+        protocol.ping_frame("r2"),
+    ]))
+    assert [f["type"] for f in replies] == ["welcome", "error", "pong"]
+    assert replies[1]["code"] == protocol.E_MALFORMED
+    assert replies[2]["id"] == "r2"
+
+
+def test_unknown_frame_type_is_bad_request():
+    replies = run(converse(cold_server(), [
+        protocol.hello_frame("me"),
+        {"type": "frobnicate", "id": "r1"},
+    ]))
+    assert replies[1]["code"] == protocol.E_BAD_REQUEST
+    assert replies[1]["id"] == "r1"
+
+
+# ---------------------------------------------------------------------------
+# submit goldens (real warm pool, single worker)
+# ---------------------------------------------------------------------------
+
+async def _with_service(body, **kwargs):
+    service = SolverService(store=None, max_workers=1, **kwargs)
+    await service.start()
+    try:
+        return await body(service)
+    finally:
+        await service.close(drain=False)
+
+
+def test_golden_miss_with_progress_stream():
+    spec_dict = single_job_spec("serve-miss")
+
+    async def body(service):
+        server = ServeServer(service)
+        return await converse(server, [
+            protocol.hello_frame("me"),
+            protocol.submit_frame("r1", spec=spec_dict, stream=True),
+        ])
+
+    replies = run(_with_service(body))
+    assert [f["type"] for f in replies] == [
+        "welcome", "event", "event", "event", "result",
+    ]
+    kinds = [f["event"]["event"] for f in replies[1:4]]
+    assert kinds == ["job_queued", "job_start", "job_end"]
+    assert all(f["id"] == "r1" for f in replies[1:])
+    result = replies[-1]
+    assert (result["executed"], result["cached"], result["shared"]) == (1, 0, 0)
+    assert len(result["records"]) == 1
+
+
+def test_golden_cache_hit():
+    spec_dict = single_job_spec("serve-hit")
+
+    async def body(service):
+        await service.submit(ScenarioSpec.from_dict(spec_dict))  # pre-warm
+        server = ServeServer(service)
+        return await converse(server, [
+            protocol.hello_frame("me"),
+            protocol.submit_frame("r1", spec=spec_dict, stream=True),
+        ])
+
+    replies = run(_with_service(body))
+    assert [f["type"] for f in replies] == ["welcome", "event", "result"]
+    assert replies[1]["event"]["event"] == "job_cached"
+    assert replies[-1]["cached"] == 1 and replies[-1]["executed"] == 0
+
+
+def test_golden_bad_requests():
+    async def body(service):
+        server = ServeServer(service)
+        return await converse(server, [
+            protocol.hello_frame("me"),
+            protocol.submit_frame("r1", spec={"garbage": True}),
+            protocol.submit_frame("r2", scenario="no-such-scenario"),
+            {"type": "submit", "id": "r3"},  # neither spec nor scenario
+        ])
+
+    replies = run(_with_service(body))
+    assert [f["type"] for f in replies] == ["welcome", "error", "error", "error"]
+    assert {f["code"] for f in replies[1:]} == {protocol.E_BAD_REQUEST}
+    assert [f["id"] for f in replies[1:]] == ["r1", "r2", "r3"]
+
+
+def test_golden_rate_limited():
+    spec_dict = single_job_spec("serve-rate")
+
+    async def body(service):
+        await service.submit(ScenarioSpec.from_dict(spec_dict))
+        server = ServeServer(service, rate=0.0, burst=1.0, clock=lambda: 0.0)
+        return await converse(server, [
+            protocol.hello_frame("me"),
+            protocol.submit_frame("r1", spec=spec_dict),
+            protocol.submit_frame("r2", spec=spec_dict),
+        ])
+
+    replies = run(_with_service(body))
+    by_id = {f.get("id"): f for f in replies}
+    assert by_id["r1"]["type"] == "result"
+    assert by_id["r2"]["type"] == "error"
+    assert by_id["r2"]["code"] == protocol.E_RATE_LIMITED
+
+
+def test_golden_shutdown_rejects_submits():
+    async def body(service):
+        await service.drain()
+        server = ServeServer(service)
+        return await converse(server, [
+            protocol.hello_frame("me"),
+            protocol.submit_frame("r1", spec=single_job_spec("serve-late")),
+        ])
+
+    replies = run(_with_service(body))
+    assert replies[1]["type"] == "error"
+    assert replies[1]["code"] == protocol.E_SHUTDOWN
+
+
+# ---------------------------------------------------------------------------
+# service invariants
+# ---------------------------------------------------------------------------
+
+def test_served_records_byte_identical_to_direct_runs(tmp_path):
+    """The acceptance pin: daemon answers == direct engine runs — same
+    keys, same rows (modulo the wall_time measurement), same order."""
+    spec = _spec("serve-pin", seeds=2)
+
+    async def body():
+        store = ResultStore(tmp_path / "store.jsonl")
+        service = SolverService(store=store, max_workers=1)
+        await service.start()
+        try:
+            outcome = await service.submit(spec)
+        finally:
+            await service.close(drain=False)
+        return store, outcome
+
+    store, outcome = run(body())
+    direct = [execute_job(job.to_dict()) for job in expand_jobs(spec)]
+    assert [strip_volatile(r) for r in outcome.records] == [
+        strip_volatile(r) for r in direct
+    ]
+    assert [r["key"] for r in outcome.records] == [j.key for j in expand_jobs(spec)]
+    stored = [strip_volatile(r) for r in ResultStore(store.path).records()]
+    assert stored == [strip_volatile(r) for r in direct]
+
+
+def test_dedup_shares_one_computation():
+    spec = _spec("serve-dedup")
+
+    async def body(service):
+        first, second = await asyncio.gather(
+            service.submit(spec), service.submit(spec)
+        )
+        return first, second, service.stats
+
+    first, second, stats = run(_with_service(body, worker=_slow_worker))
+    assert first.executed + second.executed == 1
+    assert first.shared + second.shared == 1
+    assert first.records == second.records
+    assert stats.deduped == 1 and stats.executed == 1
+
+
+def test_admission_queue_rejects_over_cap():
+    spec = _spec("serve-flood", seeds=4)  # expands to 4 jobs
+
+    async def body(service):
+        with pytest.raises(OverloadedError):
+            await service.submit(spec)
+        assert service.stats.executed == 0
+
+    run(_with_service(body, max_pending=2))
+
+
+def test_draining_service_rejects_submits():
+    async def body(service):
+        await service.drain()
+        with pytest.raises(ShuttingDownError):
+            await service.submit(_spec("serve-drained"))
+
+    run(_with_service(body))
+
+
+def test_resolve_spec_errors():
+    service = SolverService(store=None)
+    with pytest.raises(BadRequestError):
+        service.resolve_spec({})
+    with pytest.raises(BadRequestError):
+        service.resolve_spec({"scenario": "no-such-scenario"})
+    with pytest.raises(BadRequestError):
+        service.resolve_spec({"spec": {"garbage": True}})
+    spec = service.resolve_spec({"spec": single_job_spec("ok")})
+    assert spec.name == "ok"
+
+
+def test_service_survives_one_worker_crash(tmp_path, monkeypatch):
+    """A worker dying mid-job surfaces as a structured failed job_end
+    event, the pool is rebuilt, and the retry answers the request."""
+    marker = tmp_path / "crash-now"
+    marker.write_text("boom")
+    monkeypatch.setenv(CRASH_MARKER_ENV, str(marker))
+    events = []
+
+    async def body(service):
+        return await service.submit(
+            _spec("serve-crash-once"), on_event=events.append
+        )
+
+    outcome = run(_with_service(body, worker=_crash_once_worker))
+    assert outcome.executed == 1 and len(outcome.records) == 1
+    failed = [e for e in events if e.get("status") == "failed"]
+    assert len(failed) == 1
+    assert failed[0]["will_retry"] is True
+    assert "BrokenProcessPool" in failed[0]["error"]
+    kinds = [e["event"] for e in events]
+    assert kinds == ["job_queued", "job_start", "job_end", "job_end"]
+    assert events[-1]["status"] == "completed"
+
+
+def test_service_gives_up_on_poison_job():
+    events = []
+
+    async def body(service):
+        with pytest.raises(Exception) as err:
+            await service.submit(
+                _spec("poison-serve"), on_event=events.append
+            )
+        assert "process pool" in str(err.value).lower()
+        return service.stats
+
+    stats = run(_with_service(body, worker=_poison_worker))
+    assert stats.failed == 1
+    failed = [e for e in events if e.get("status") == "failed"]
+    assert [e["attempt"] for e in failed] == [1, 2]
+    assert failed[-1]["will_retry"] is False
+    assert stats.pool_rebuilds == MAX_JOB_ATTEMPTS
+
+
+# ---------------------------------------------------------------------------
+# runner robustness (the sweep path, not the daemon)
+# ---------------------------------------------------------------------------
+
+def _sink_telemetry():
+    sink = MemorySink()
+    return Telemetry(manifest=RunManifest(workload={}), sinks=[sink]), sink
+
+
+def test_runner_retries_after_worker_crash(tmp_path, monkeypatch):
+    marker = tmp_path / "crash-now"
+    marker.write_text("boom")
+    monkeypatch.setenv(CRASH_MARKER_ENV, str(marker))
+    jobs = expand_jobs(_spec("runner-crash-once", seeds=2))
+    telemetry, sink = _sink_telemetry()
+    with telemetry:
+        records = _run_jobs(
+            jobs, max_workers=1, parallel=True,
+            telemetry=telemetry, worker=_crash_once_worker,
+        )
+    assert [r["key"] for r in records] == [j.key for j in jobs]
+    statuses = [
+        e["status"] for e in sink.events if e["event"].startswith("job")
+    ]
+    assert statuses.count("completed") == 2 and "failed" not in statuses
+
+
+def test_runner_surfaces_poison_job_structurally(monkeypatch):
+    """A job that kills its worker twice fails with a structured
+    telemetry event and a WorkerCrashError naming it — after the
+    healthy jobs completed (the sweep is not wedged)."""
+    healthy = expand_jobs(_spec("runner-healthy"))
+    poison = expand_jobs(_spec("poison-runner"))
+    jobs = healthy + poison  # healthy first: the lone worker finishes it
+    telemetry, sink = _sink_telemetry()
+    with telemetry:
+        with pytest.raises(WorkerCrashError) as err:
+            _run_jobs(
+                jobs, max_workers=1, parallel=True,
+                telemetry=telemetry, worker=_poison_worker,
+            )
+    assert err.value.job_keys == (poison[0].key,)
+    by_status = {}
+    for event in sink.events:
+        if event["event"].startswith("job"):
+            by_status.setdefault(event["status"], []).append(event)
+    assert [e["key"] for e in by_status["completed"]] == [healthy[0].key]
+    assert [e["key"] for e in by_status["failed"]] == [poison[0].key]
+    assert "BrokenProcessPool" in by_status["failed"][0]["error"]
+
+
+# ---------------------------------------------------------------------------
+# the real thing: unix socket, blocking client
+# ---------------------------------------------------------------------------
+
+def test_unix_socket_end_to_end(tmp_path):
+    socket_path = tmp_path / "serve.sock"
+    started = threading.Event()
+    handles = {}
+
+    def serve():
+        async def main():
+            service = SolverService(store=None, max_workers=1)
+            await service.start()
+            server = ServeServer(service)
+            await server.start_unix(str(socket_path))
+            stop = asyncio.Event()
+            handles["stop"] = stop
+            handles["loop"] = asyncio.get_running_loop()
+            started.set()
+            await server.serve_until(stop)
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    assert started.wait(30)
+    try:
+        spec_dict = single_job_spec("socket-e2e")
+        events = []
+        with ServeClient(socket_path=str(socket_path)) as client:
+            assert client.server_info["protocol"] == protocol.PROTOCOL_VERSION
+            assert client.ping()["type"] == "pong"
+            first = client.submit(spec=spec_dict, on_event=events.append)
+            assert first.executed == 1
+            again = client.submit(spec=spec_dict)
+            assert again.cached == 1
+            assert strip_volatile(first.records[0]) == strip_volatile(
+                again.records[0]
+            )
+            stats = client.stats()
+            assert stats["cache_hits"] == 1 and stats["executed"] == 1
+        assert [e["event"] for e in events] == [
+            "job_queued", "job_start", "job_end",
+        ]
+    finally:
+        handles["loop"].call_soon_threadsafe(handles["stop"].set)
+        thread.join(30)
+    assert not thread.is_alive()
+
+
+def test_client_transport_error_when_no_daemon(tmp_path):
+    with pytest.raises(ServeClientError) as err:
+        ServeClient(socket_path=str(tmp_path / "nothing.sock")).connect()
+    assert err.value.code == "transport"
