@@ -71,6 +71,7 @@ from repro.simbackend import BACKENDS, normalize_backend
 from repro.workloads import TERMINAL_PLACEMENTS, random_instance
 
 DEFAULT_STORE = "results/experiments.jsonl"
+DEFAULT_FLIGHT_DIR = "results/flight"
 
 
 def _parse_spec_params(raw_params: str, kind: str) -> Dict[str, Any]:
@@ -392,6 +393,25 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="stream the daemon's telemetry events to PATH as JSONL",
     )
+    serve.add_argument(
+        "--flight-dir",
+        default=DEFAULT_FLIGHT_DIR,
+        metavar="DIR",
+        help="flight-recorder dump directory "
+        f"(default {DEFAULT_FLIGHT_DIR})",
+    )
+    serve.add_argument(
+        "--flight-events",
+        type=int,
+        default=512,
+        metavar="N",
+        help="flight-recorder ring capacity in events (default 512)",
+    )
+    serve.add_argument(
+        "--no-flight",
+        action="store_true",
+        help="run without the flight recorder",
+    )
 
     submit = sub.add_parser(
         "submit", help="submit scenario requests to a running daemon"
@@ -432,6 +452,76 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also fetch and print the server's counters",
     )
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape a running daemon's metrics registry",
+    )
+    _add_serve_endpoint(metrics)
+    metrics_format = metrics.add_mutually_exclusive_group()
+    metrics_format.add_argument(
+        "--prom",
+        action="store_true",
+        help="Prometheus text exposition (the default)",
+    )
+    metrics_format.add_argument(
+        "--json",
+        action="store_true",
+        help="raw registry snapshot as pretty-printed JSON",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live ANSI dashboard over a running daemon",
+    )
+    _add_serve_endpoint(top)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="stop after this many screens (default 0 = until ^C)",
+    )
+
+    flight = sub.add_parser(
+        "flight",
+        help="inspect the daemon's flight-recorder dumps",
+    )
+    flight_sub = flight.add_subparsers(dest="action", required=True)
+    flight_show = flight_sub.add_parser(
+        "show",
+        help="print the last events of a flight dump, human-readable",
+    )
+    flight_dump = flight_sub.add_parser(
+        "dump",
+        help="re-emit a flight dump's events as JSONL",
+    )
+    for action in (flight_show, flight_dump):
+        action.add_argument(
+            "path",
+            nargs="?",
+            default=DEFAULT_FLIGHT_DIR,
+            help="a dump file, or a directory to take the newest dump "
+            f"from (default {DEFAULT_FLIGHT_DIR})",
+        )
+        action.add_argument(
+            "--last",
+            type=int,
+            default=0,
+            metavar="N",
+            help="only the last N events (default 0 = all retained)",
+        )
+    flight_dump.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSONL to PATH instead of stdout",
+    )
+
     report = sub.add_parser("report", help="aggregate a result store")
     report.add_argument("--store", default=DEFAULT_STORE)
     report.add_argument(
@@ -457,6 +547,19 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="STRATEGY",
         help="restrict to one terminal placement "
         f"({', '.join(sorted(TERMINAL_PLACEMENTS))})",
+    )
+    report.add_argument(
+        "--html",
+        default=None,
+        metavar="OUT",
+        help="render a self-contained HTML run report instead of the "
+        "store aggregation (requires --events)",
+    )
+    report.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="captured telemetry JSONL stream to render with --html",
     )
     return parser
 
@@ -941,6 +1044,7 @@ def _cmd_bench(args) -> int:
                 "BENCH_profile.json",
                 "BENCH_backends.json",
                 "BENCH_serve.json",
+                "BENCH_observe.json",
             )
             if Path(name).is_file()
         ]
@@ -1002,6 +1106,13 @@ def _cmd_serve(args) -> int:
         return 2
     store = None if args.no_store else ResultStore(args.store)
     telemetry = _serve_telemetry(args)
+    flight = None
+    if not args.no_flight:
+        from repro.telemetry import FlightRecorder
+
+        flight = telemetry.add_sink(
+            FlightRecorder(args.flight_dir, capacity=args.flight_events)
+        )
 
     async def _run() -> None:
         service = SolverService(
@@ -1032,10 +1143,91 @@ def _cmd_serve(args) -> int:
         await server.serve_until(stop)
         print("repro serve: drained and stopped", file=sys.stderr)
 
+    clean_exit = False
     try:
         asyncio.run(_run())
+        clean_exit = True
     finally:
+        # The drain/crash flush discipline: sinks are fsync'd, the bus
+        # closed (emitting the final metrics snapshot + run_end), and
+        # the flight recorder dumps its ring — *after* close, so the
+        # dump's tail carries the final metrics and run_end events.
+        telemetry.flush()
         telemetry.close()
+        if flight is not None:
+            dump = flight.dump("drain" if clean_exit else "error")
+            if dump is not None:
+                print(f"repro serve: flight dump {dump}", file=sys.stderr)
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.serve.client import ServeClient, ServeClientError
+    from repro.telemetry import render_json, render_prometheus
+
+    try:
+        with ServeClient(
+            socket_path=args.socket, host=args.host, port=args.port,
+            name="repro-metrics",
+        ) as client:
+            frame = client.metrics()
+    except ServeClientError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    snapshot = frame.get("metrics") or {}
+    if args.json:
+        print(render_json(snapshot))
+    else:
+        sys.stdout.write(render_prometheus(snapshot))
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from repro.serve.top import run_top
+
+    return run_top(
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        interval=args.interval,
+        count=args.count,
+    )
+
+
+def _cmd_flight(args) -> int:
+    from repro.telemetry import (
+        encode_event,
+        format_event,
+        latest_dump,
+        read_events,
+    )
+
+    path = Path(args.path)
+    if path.is_dir():
+        newest = latest_dump(path)
+        if newest is None:
+            print(f"error: no flight dumps in {path}", file=sys.stderr)
+            return 1
+        path = newest
+    if not path.is_file():
+        print(f"error: no flight dump at {path}", file=sys.stderr)
+        return 1
+    events = read_events(path)
+    if args.last > 0:
+        events = events[-args.last :]
+    if args.action == "show":
+        print(f"flight dump {path} — {len(events)} events")
+        for event in events:
+            print(format_event(event))
+        return 0
+    payload = "".join(encode_event(event) + "\n" for event in events)
+    if args.out is not None:
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(payload, encoding="utf-8")
+        print(f"wrote {len(events)} events to {args.out}")
+    else:
+        sys.stdout.write(payload)
     return 0
 
 
@@ -1136,6 +1328,30 @@ def _cmd_ping(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.html is not None:
+        if args.events is None:
+            print(
+                "error: --html renders a telemetry stream; pass "
+                "--events PATH (a captured JSONL stream)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.telemetry import read_events
+        from repro.telemetry.report_html import render_html_report
+
+        try:
+            events = read_events(args.events)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read {args.events}: {exc}", file=sys.stderr)
+            return 2
+        html = render_html_report(
+            events, title=f"repro run report — {Path(args.events).name}"
+        )
+        target = Path(args.html)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(html, encoding="utf-8")
+        print(f"wrote {target} ({len(events)} events rendered)")
+        return 0
     store = ResultStore(args.store)
     records = store.select(
         scenario=args.scenario,
@@ -1162,6 +1378,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "submit": _cmd_submit,
         "ping": _cmd_ping,
+        "metrics": _cmd_metrics,
+        "top": _cmd_top,
+        "flight": _cmd_flight,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -10,10 +10,13 @@ The package splits along the transport boundary:
 * :mod:`repro.serve.server` — the asyncio socket front-end (unix or
   TCP) with per-connection rate caps and ordered streaming writes;
 * :mod:`repro.serve.client` — the blocking :class:`ServeClient` library
-  behind ``repro submit`` / ``repro ping``;
+  behind ``repro submit`` / ``repro ping`` / ``repro metrics``;
+* :mod:`repro.serve.top` — the ANSI live dashboard (``repro top``)
+  polling the daemon's ``metrics`` frame;
 * :mod:`repro.serve.loadgen` — shared load-generation used by the
-  committed benchmark (``BENCH_serve.json``), the ``repro bench check``
-  gate, and the CI smoke harness (:mod:`repro.serve.smoke`).
+  committed benchmarks (``BENCH_serve.json``, ``BENCH_observe.json``),
+  the ``repro bench check`` gate, and the CI smoke harnesses
+  (:mod:`repro.serve.smoke`, :mod:`repro.serve.obsmoke`).
 """
 
 from repro.serve.client import ServeClient, ServeClientError, SubmitResult
@@ -28,6 +31,7 @@ from repro.serve.service import (
     SubmitOutcome,
     strip_volatile,
 )
+from repro.serve.top import format_top, run_top
 
 __all__ = [
     "MAX_FRAME_BYTES",
@@ -44,5 +48,7 @@ __all__ = [
     "SubmitOutcome",
     "SubmitResult",
     "TokenBucket",
+    "format_top",
+    "run_top",
     "strip_volatile",
 ]

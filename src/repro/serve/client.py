@@ -162,6 +162,13 @@ class ServeClient:
         self._send(protocol.stats_frame(request_id))
         return self._await_reply(request_id, "stats")
 
+    def metrics(self) -> Dict[str, Any]:
+        """The server's full metrics-registry snapshot (the frame
+        behind ``repro metrics`` and ``repro top``)."""
+        request_id = self._request_id()
+        self._send(protocol.metrics_frame(request_id))
+        return self._await_reply(request_id, "metrics")
+
     def submit(
         self,
         spec: Optional[Dict[str, Any]] = None,

@@ -5,10 +5,13 @@ Shared by three consumers so they measure the same thing the same way:
 * ``benchmarks/bench_e19_serve.py`` — the committed load benchmark
   (``BENCH_serve.json``: requests/sec at 0/50/100% cache-hit ratios,
   1 vs 8 concurrent clients, and the warm-hit vs cold-CLI latency gap);
-* the ``repro bench check`` gate's ``e19-serve`` driver, which
-  re-measures committed entries;
-* ``repro.serve.smoke`` (the CI serve-smoke job), which reuses the
-  daemon-launching and spec-building helpers.
+* ``benchmarks/bench_e20_observe.py`` — the observability-overhead
+  benchmark (``BENCH_observe.json``: warm-hit latency through an
+  instrumented vs a detached daemon);
+* the ``repro bench check`` gate's ``e19-serve`` and ``e20-observe``
+  drivers, which re-measure committed entries;
+* ``repro.serve.smoke`` and ``repro.serve.obsmoke`` (the CI smoke
+  jobs), which reuse the daemon-launching and spec-building helpers.
 
 Measurement design (determinism first): each request is a
 **single-job** ScenarioSpec over a tiny fixed workload; the scenario
@@ -254,6 +257,76 @@ def measure_config(
         "hits": totals["cached"],
         "executed": totals["executed"],
         "shared": totals["shared"],
+        "rps": requests / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+# -- observability overhead (E20) ---------------------------------------
+
+#: The two daemon configurations E20 compares. ``instrumented`` is the
+#: recommended production setup (JSONL telemetry stream + flight
+#: recorder attached); ``detached`` runs the same daemon with no sinks
+#: at all (``--no-flight`` and no ``--telemetry``) — the metrics
+#: registry itself is always on, so the delta is the cost of event
+#: fan-out and durable sinks, which is exactly the overhead the
+#: observability layer is allowed to add.
+OBSERVE_MODES = ("instrumented", "detached")
+
+
+def observe_extra_args(mode: str, tmp: Any) -> Tuple[str, ...]:
+    """Extra ``repro serve`` flags for one E20 daemon configuration."""
+    if mode == "instrumented":
+        return (
+            "--quiet",
+            "--telemetry", str(Path(tmp) / "telemetry.jsonl"),
+            "--flight-dir", str(Path(tmp) / "flight"),
+        )
+    if mode == "detached":
+        return ("--quiet", "--no-flight")
+    raise ValueError(f"unknown observe mode {mode!r}")
+
+
+def measure_observe(
+    workload: Dict[str, Any],
+    requests: int,
+    mode: str,
+    daemon_workers: int = 1,
+) -> Dict[str, Any]:
+    """Measure warm-hit request latency through one daemon mode.
+
+    One probe spec is pre-submitted once (computing and caching it),
+    then ``requests`` identical submits are timed — every one a
+    guaranteed cache hit, so the ``requests`` and ``hits`` columns are
+    exact and the gate can compare them like the engine benches compare
+    rounds. Returns a BENCH_observe entry.
+    """
+    spec = single_job_spec("observe-probe", workload)
+    with tempfile.TemporaryDirectory(prefix="repro-serve-obs-") as tmp:
+        socket_path = Path(tmp) / "serve.sock"
+        store_path = Path(tmp) / "store.jsonl"
+        daemon = launch_daemon(
+            socket_path,
+            store_path,
+            workers=daemon_workers,
+            extra_args=observe_extra_args(mode, tmp),
+        )
+        try:
+            with ServeClient(socket_path=str(socket_path)) as client:
+                client.submit(spec=spec)  # compute once; now a warm hit
+                hits = 0
+                started = time.perf_counter()
+                for _ in range(requests):
+                    outcome = client.submit(spec=spec)
+                    hits += outcome.cached
+                elapsed = time.perf_counter() - started
+        finally:
+            stop_daemon(daemon)
+    return {
+        "n": requests,
+        "backend": mode,
+        "seconds": elapsed,
+        "requests": requests,
+        "hits": hits,
         "rps": requests / elapsed if elapsed > 0 else 0.0,
     }
 

@@ -1,0 +1,242 @@
+"""The observability-smoke harness behind CI's observability-smoke job.
+
+``python -m repro.serve.obsmoke`` exercises the operator-facing
+observability surface end-to-end, against a real daemon, through the
+real CLI entry points — the way an operator would:
+
+1. launches ``repro serve`` as a subprocess on a unix socket with the
+   telemetry stream *and* the flight recorder attached;
+2. drives a known request mix (3 distinct cold submits, then 2 warm
+   re-submits) so every counter has one exact right answer;
+3. scrapes ``repro metrics --json`` and ``--prom`` as subprocesses and
+   checks the counters, the latency-histogram counts, and the
+   Prometheus exposition shape against that mix;
+4. renders two screens of ``repro top`` and requires a clean exit;
+5. SIGTERM-drains the daemon, requires exit 0, and checks the drain
+   flight dump is readable and ends with the final metrics snapshot
+   and the ``run_end`` bookend (``repro flight show`` must render it);
+6. renders the HTML run report from the captured telemetry stream.
+
+Everything it writes (telemetry stream, flight dumps, metrics scrapes,
+the HTML report) lands in the artifact directory for CI upload. Exit
+code 0 means every check passed.
+"""
+
+import argparse
+import json
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.serve.client import ServeClient
+from repro.serve.loadgen import (
+    daemon_env,
+    launch_daemon,
+    single_job_spec,
+    stop_daemon,
+)
+from repro.telemetry import latest_dump, read_events
+
+#: The known request mix: COLD distinct cold submits, the first WARM of
+#: them re-submitted once each. Everything below asserts against these.
+COLD = 3
+WARM = 2
+
+#: Counters the mix pins exactly (requests = COLD + WARM, each cold
+#: submit executes and persists one job, each warm one is a cache hit).
+EXPECTED_COUNTERS = {
+    "serve.requests": COLD + WARM,
+    "serve.jobs": COLD + WARM,
+    "serve.executed": COLD,
+    "serve.cache.hit": WARM,
+    "serve.store.rows_written": COLD,
+}
+
+
+def _cli(arguments: List[str], timeout: float = 60.0) -> subprocess.CompletedProcess:
+    """Run one ``repro`` CLI subcommand the way an operator would."""
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        env=daemon_env(),
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        raise RuntimeError(message)
+
+
+def _check_metrics_json(raw: str) -> Dict[str, Any]:
+    snapshot = json.loads(raw)
+    counters = snapshot.get("counters", {})
+    for name, expected in EXPECTED_COUNTERS.items():
+        _check(
+            counters.get(name) == expected,
+            f"counter {name}: expected {expected}, scraped {counters.get(name)}",
+        )
+    histograms = snapshot.get("histograms", {})
+    for name, expected in (
+        ("serve.request.seconds", COLD + WARM),
+        ("serve.job.executed.seconds", COLD),
+        ("serve.job.hit.seconds", WARM),
+    ):
+        count = (histograms.get(name) or {}).get("count")
+        _check(
+            count == expected,
+            f"histogram {name}: expected count {expected}, scraped {count}",
+        )
+    return snapshot
+
+
+def _check_metrics_prom(text: str) -> None:
+    total = COLD + WARM
+    for needle in (
+        "# TYPE repro_serve_requests_total counter",
+        f"repro_serve_requests_total {total}",
+        "# TYPE repro_serve_request_seconds histogram",
+        f'repro_serve_request_seconds_bucket{{le="+Inf"}} {total}',
+        f"repro_serve_request_seconds_count {total}",
+        "# TYPE repro_serve_request_seconds_p99 gauge",
+        "# TYPE repro_serve_inflight gauge",
+    ):
+        _check(needle in text, f"prometheus exposition missing {needle!r}")
+
+
+def _check_flight_dump(flight_dir: Path) -> Path:
+    dump = latest_dump(flight_dir)
+    _check(dump is not None, f"no flight dump written under {flight_dir}")
+    _check("drain" in dump.name, f"expected a drain dump, got {dump.name}")
+    kinds = [event.get("event") for event in read_events(dump)]
+    _check(bool(kinds), f"flight dump {dump.name} is empty")
+    for bookend in ("serve_end", "metrics", "run_end"):
+        _check(
+            bookend in kinds[-4:],
+            f"flight dump tail {kinds[-4:]} lacks {bookend!r}",
+        )
+    shown = _cli(["flight", "show", str(flight_dir), "--last", "5"])
+    _check(
+        shown.returncode == 0 and "run_end" in shown.stdout,
+        f"repro flight show failed: rc={shown.returncode}\n{shown.stderr}",
+    )
+    return dump
+
+
+def run_obsmoke(artifact_dir: Path) -> Dict[str, Any]:
+    artifact_dir.mkdir(parents=True, exist_ok=True)
+    telemetry_path = artifact_dir / "obs-telemetry.jsonl"
+    flight_dir = artifact_dir / "flight"
+
+    with tempfile.TemporaryDirectory(prefix="repro-obsmoke-") as tmp:
+        socket_path = Path(tmp) / "serve.sock"
+        store_path = Path(tmp) / "store.jsonl"
+        daemon = launch_daemon(
+            socket_path,
+            store_path,
+            workers=2,
+            telemetry=telemetry_path,
+            extra_args=("--quiet", "--flight-dir", str(flight_dir)),
+        )
+        try:
+            # 2. The known mix: 3 cold submits, 2 warm re-submits.
+            with ServeClient(socket_path=str(socket_path)) as client:
+                specs = [single_job_spec(f"obsmoke-{i}") for i in range(COLD)]
+                for spec in specs:
+                    outcome = client.submit(spec=spec)
+                    _check(
+                        outcome.executed == 1,
+                        f"cold submit of {spec['name']} was not executed",
+                    )
+                for spec in specs[:WARM]:
+                    outcome = client.submit(spec=spec)
+                    _check(
+                        outcome.cached == 1,
+                        f"warm submit of {spec['name']} was not a cache hit",
+                    )
+
+            # 3. Scrape the metrics frame through the real CLI.
+            scraped_json = _cli(["metrics", "--socket", str(socket_path), "--json"])
+            _check(
+                scraped_json.returncode == 0,
+                f"repro metrics --json failed: {scraped_json.stderr}",
+            )
+            (artifact_dir / "metrics.json").write_text(scraped_json.stdout)
+            snapshot = _check_metrics_json(scraped_json.stdout)
+
+            scraped_prom = _cli(["metrics", "--socket", str(socket_path), "--prom"])
+            _check(
+                scraped_prom.returncode == 0,
+                f"repro metrics --prom failed: {scraped_prom.stderr}",
+            )
+            (artifact_dir / "metrics.prom").write_text(scraped_prom.stdout)
+            _check_metrics_prom(scraped_prom.stdout)
+
+            # 4. Two screens of the dashboard, then a clean exit.
+            top = _cli(
+                ["top", "--socket", str(socket_path),
+                 "--count", "2", "--interval", "0.2"],
+            )
+            _check(
+                top.returncode == 0,
+                f"repro top exited {top.returncode}: {top.stderr}",
+            )
+            _check("hit ratio" in top.stdout, "repro top screen lacks the gauges line")
+        finally:
+            code = stop_daemon(daemon)
+        _check(code == 0, f"daemon did not shut down cleanly: exit {code}")
+
+    # 5. The SIGTERM drain must have left a readable flight dump.
+    dump = _check_flight_dump(flight_dir)
+
+    # 6. The HTML report renders from the captured stream.
+    report_path = artifact_dir / "report.html"
+    report = _cli(
+        ["report", "--html", str(report_path), "--events", str(telemetry_path)]
+    )
+    _check(
+        report.returncode == 0 and report_path.exists(),
+        f"repro report --html failed: rc={report.returncode}\n{report.stderr}",
+    )
+    html = report_path.read_text(encoding="utf-8")
+    _check("<!doctype html>" in html.lower(), "report is not a full HTML page")
+
+    return {
+        "requests": COLD + WARM,
+        "executed": EXPECTED_COUNTERS["serve.executed"],
+        "cache_hits": EXPECTED_COUNTERS["serve.cache.hit"],
+        "histograms": len(snapshot.get("histograms", {})),
+        "flight_dump": str(dump),
+        "report": str(report_path),
+        "artifact_dir": str(artifact_dir),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.obsmoke",
+        description="end-to-end smoke test of the observability surface",
+    )
+    parser.add_argument(
+        "--artifact-dir",
+        default="obs-smoke-artifacts",
+        help="where to leave telemetry, flight dumps, scrapes, and the "
+        "HTML report (default: obs-smoke-artifacts/)",
+    )
+    args = parser.parse_args(argv)
+    artifact_dir = Path(args.artifact_dir)
+    if artifact_dir.exists():
+        shutil.rmtree(artifact_dir)
+    summary = run_obsmoke(artifact_dir)
+    print("obs-smoke: all checks passed")
+    for key, value in summary.items():
+        print(f"  {key:16s} {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,17 @@ Conversation shape::
                                     <-    {"type":"result","id":"r1",...}
     {"type":"ping","id":"r2"}       ->
                                     <-    {"type":"pong","id":"r2",...}
+    {"type":"metrics","id":"r3"}    ->
+                                    <-    {"type":"metrics","id":"r3",
+                                           "metrics":{...}}
     {"type":"bye"}                  ->    (connection closes)
+
+``metrics`` returns the server's full
+:meth:`~repro.telemetry.MetricsRegistry.snapshot` — counters, gauges,
+and bucketed latency histograms — which is what ``repro metrics`` and
+``repro top`` scrape. The frame is additive, so the protocol version
+stays at 1: a v1 server that predates it answers with a recoverable
+``bad-request`` error and the conversation continues.
 
 The handshake is mandatory: the first client frame must be ``hello``
 carrying :data:`PROTOCOL_VERSION`; any mismatch is answered with a
@@ -63,7 +73,7 @@ ERROR_CODES = (
 )
 
 #: Frame types a client may send.
-CLIENT_FRAMES = ("hello", "submit", "ping", "stats", "bye")
+CLIENT_FRAMES = ("hello", "submit", "ping", "stats", "metrics", "bye")
 
 
 class ProtocolError(Exception):
@@ -160,6 +170,11 @@ def ping_frame(request_id: str) -> Dict[str, Any]:
 
 def stats_frame(request_id: str) -> Dict[str, Any]:
     return {"type": "stats", "id": request_id}
+
+
+def metrics_frame(request_id: str) -> Dict[str, Any]:
+    """Request the server's full metrics-registry snapshot."""
+    return {"type": "metrics", "id": request_id}
 
 
 def bye_frame() -> Dict[str, Any]:

@@ -154,6 +154,8 @@ class ServeServer:
                     outbound.put_nowait(self._pong(frame))
                 elif kind == "stats":
                     outbound.put_nowait(self._stats(frame))
+                elif kind == "metrics":
+                    outbound.put_nowait(self._metrics(frame))
                 elif kind == "submit":
                     request_id = str(frame.get("id", ""))
                     if not bucket.take():
@@ -257,7 +259,6 @@ class ServeServer:
         request_id: str,
         outbound: asyncio.Queue,
     ) -> None:
-        self._count("serve.requests")
         if self._shutting_down or self.service.draining:
             outbound.put_nowait(protocol.error_frame(
                 protocol.E_SHUTDOWN,
@@ -326,6 +327,20 @@ class ServeServer:
             **self.service.stats.to_dict(),
         }
 
+    def _metrics(self, frame: Dict[str, Any]) -> Dict[str, Any]:
+        """The full registry snapshot — what ``repro metrics`` scrapes."""
+        return {
+            "type": "metrics",
+            "id": frame.get("id"),
+            "server": self.name,
+            "uptime": round(self._clock() - self._started, 3),
+            "run_id": (
+                self.service.telemetry.run_id
+                if self.service.telemetry is not None else ""
+            ),
+            "metrics": self.service.metrics.snapshot(),
+        }
+
     # -- plumbing --------------------------------------------------------
 
     async def _drain_outbound(
@@ -348,5 +363,4 @@ class ServeServer:
             self.service.telemetry.emit(kind, **fields)
 
     def _count(self, name: str) -> None:
-        if self.service.telemetry is not None:
-            self.service.telemetry.counter(name).inc()
+        self.service.metrics.counter(name).inc()

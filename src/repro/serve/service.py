@@ -31,6 +31,7 @@ result) differs run to run (see :func:`strip_volatile`).
 
 import asyncio
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -40,6 +41,7 @@ from repro.engine.jobs import Job, expand_jobs
 from repro.engine.registry import REGISTRY, ScenarioSpec
 from repro.engine.runner import MAX_JOB_ATTEMPTS, execute_job
 from repro.engine.store import ResultStore
+from repro.telemetry import MetricsRegistry
 
 #: Per-request event callback: receives stamped telemetry event dicts.
 EventCallback = Optional[Callable[[Dict[str, Any]], None]]
@@ -92,20 +94,40 @@ def strip_volatile(record: Mapping[str, Any]) -> Dict[str, Any]:
     return clean(dict(record))
 
 
-@dataclass
 class ServiceStats:
-    """Monotonic counters over the service's lifetime."""
+    """Live read-only view of the service's lifetime counters.
 
-    requests: int = 0
-    jobs: int = 0
-    executed: int = 0
-    cache_hits: int = 0
-    deduped: int = 0
-    failed: int = 0
-    pool_rebuilds: int = 0
+    Historically a plain dataclass of ints; the counters now live in
+    the service's :class:`~repro.telemetry.MetricsRegistry` (so the
+    daemon's ``metrics`` frame, Prometheus exposition, and the
+    telemetry snapshot all read the same instruments), and this class
+    keeps the old attribute surface — ``stats.executed``,
+    ``stats.to_dict()`` — as properties over the registry.
+    """
+
+    #: legacy field name → registry counter backing it.
+    FIELDS = {
+        "requests": "serve.requests",
+        "jobs": "serve.jobs",
+        "executed": "serve.executed",
+        "cache_hits": "serve.cache.hit",
+        "deduped": "serve.dedup.shared",
+        "failed": "serve.failed",
+        "pool_rebuilds": "serve.pool.rebuilds",
+    }
+
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+
+    def __getattr__(self, name: str) -> int:
+        try:
+            counter = self.FIELDS[name]
+        except KeyError:
+            raise AttributeError(name) from None
+        return self._metrics.counter(counter).value
 
     def to_dict(self) -> Dict[str, int]:
-        return dict(vars(self))
+        return {field: getattr(self, field) for field in self.FIELDS}
 
 
 @dataclass
@@ -154,8 +176,15 @@ class SolverService:
         self.max_inflight = max_inflight or self.max_workers
         self.max_pending = max_pending
         self.telemetry = telemetry
-        self.stats = ServiceStats()
+        # One registry backs stats, the metrics protocol frame, and the
+        # telemetry snapshot: the bus's own registry when attached, a
+        # private one otherwise (metrics are always on, events are not).
+        self.metrics: MetricsRegistry = (
+            telemetry.metrics if telemetry is not None else MetricsRegistry()
+        )
+        self.stats = ServiceStats(self.metrics)
         self._worker = worker
+        self._executing = 0
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_generation = 0
         self._pool_lock: Optional[asyncio.Lock] = None
@@ -184,6 +213,8 @@ class SolverService:
             loop.run_in_executor(self._pool, _warm_worker)
             for _ in range(self.max_workers)
         ))
+        self.metrics.gauge("serve.queue.pending").set(0)
+        self.metrics.gauge("serve.inflight").set(0)
         self._emit(None, "serve_start",
                    workers=self.max_workers,
                    max_inflight=self.max_inflight,
@@ -249,9 +280,9 @@ class SolverService:
         """
         if self._draining:
             raise ShuttingDownError("server is draining; try again later")
-        self.stats.requests += 1
+        self.metrics.counter("serve.requests").inc()
         jobs = expand_jobs(spec)
-        self.stats.jobs += len(jobs)
+        self.metrics.counter("serve.jobs").inc(len(jobs))
         misses = [
             job for job in jobs
             if job.key not in self._hot and job.key not in self._inflight
@@ -262,11 +293,15 @@ class SolverService:
                 f"{len(misses)} new jobs over the {self.max_pending} cap)"
             )
         outcome = SubmitOutcome()
+        started = time.perf_counter()
         results = await asyncio.gather(*(
             self._run_job(job, on_event, outcome, done=index + 1,
                           total=len(jobs))
             for index, job in enumerate(jobs)
         ))
+        self.metrics.histogram("serve.request.seconds").observe(
+            time.perf_counter() - started
+        )
         outcome.records = list(results)
         return outcome
 
@@ -279,53 +314,64 @@ class SolverService:
         total: int,
     ) -> Dict[str, Any]:
         key = job.key
+        started = time.perf_counter()
         hit = self._hot.get(key)
         if hit is not None:
-            self.stats.cache_hits += 1
-            self._counter("serve.cache.hit")
+            self.metrics.counter("serve.cache.hit").inc()
             self._job_event(on_event, "job_cached", job, status="cached",
                             done=done, total=total)
             outcome.cached += 1
+            self._observe_job("hit", started)
             return hit
         shared = self._inflight.get(key)
         if shared is not None:
             # Another client is already computing this exact key: share.
-            self.stats.deduped += 1
-            self._counter("serve.dedup.shared")
+            self.metrics.counter("serve.dedup.shared").inc()
             self._job_event(on_event, "job_deduped", job, status="shared",
                             done=done, total=total)
             record = await asyncio.shield(shared)
             outcome.shared += 1
+            self._observe_job("dedup", started)
             return record
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
         self._inflight[key] = future
         self._pending += 1
+        self.metrics.gauge("serve.queue.pending").set(self._pending)
         self._idle.clear()
-        self._counter("serve.admitted")
+        self.metrics.counter("serve.admitted").inc()
         self._job_event(on_event, "job_queued", job, status="queued",
                         done=done, total=total)
         try:
             async with _slot(self._slots):
+                self._executing += 1
+                self.metrics.gauge("serve.inflight").set(self._executing)
                 self._job_event(on_event, "job_start", job, status="running",
                                 done=done, total=total)
-                record = await self._execute_with_retry(job, on_event,
-                                                        done=done, total=total)
+                try:
+                    record = await self._execute_with_retry(
+                        job, on_event, done=done, total=total
+                    )
+                finally:
+                    self._executing -= 1
+                    self.metrics.gauge("serve.inflight").set(self._executing)
             if self.store is not None:
                 self.store.append([record])
-                self._counter("serve.store.rows_written")
+                self.metrics.counter("serve.store.rows_written").inc()
             self._hot[key] = record
-            self.stats.executed += 1
+            self.metrics.counter("serve.executed").inc()
             self._job_event(
                 on_event, "job_end", job, status="completed",
                 done=done, total=total,
                 wall_time=record["metrics"].get("wall_time", 0.0),
             )
             outcome.executed += 1
+            self._observe_job("executed", started)
             future.set_result(record)
             return record
         except BaseException as exc:
-            self.stats.failed += 1
+            self.metrics.counter("serve.failed").inc()
+            self._observe_job("failed", started)
             future.set_exception(exc)
             # Dedup awaiters consume the exception; nobody else should
             # trip "exception never retrieved" if none are waiting.
@@ -334,6 +380,7 @@ class SolverService:
         finally:
             self._inflight.pop(key, None)
             self._pending -= 1
+            self.metrics.gauge("serve.queue.pending").set(self._pending)
             if self._pending == 0:
                 self._idle.set()
 
@@ -352,7 +399,7 @@ class SolverService:
             except BrokenProcessPool as exc:
                 # The worker running (or queued next to) this job died.
                 # Surface it structurally, heal the pool, retry once.
-                self._counter("serve.worker_crash")
+                self.metrics.counter("serve.worker_crash").inc()
                 self._job_event(
                     on_event, "job_end", job, status="failed",
                     done=done, total=total,
@@ -373,7 +420,7 @@ class SolverService:
             broken = self._pool
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
             self._pool_generation += 1
-            self.stats.pool_rebuilds += 1
+            self.metrics.counter("serve.pool.rebuilds").inc()
             self._emit(None, "pool_rebuilt",
                        generation=self._pool_generation)
             if broken is not None:
@@ -413,9 +460,11 @@ class SolverService:
             **fields,
         )
 
-    def _counter(self, name: str) -> None:
-        if self.telemetry is not None:
-            self.telemetry.counter(name).inc()
+    def _observe_job(self, outcome: str, started: float) -> None:
+        """Per-job latency into the outcome-split histogram family."""
+        self.metrics.histogram(f"serve.job.{outcome}.seconds").observe(
+            time.perf_counter() - started
+        )
 
 
 class _slot:

@@ -1,0 +1,166 @@
+"""``repro top``: a curses-free ANSI live dashboard over a daemon.
+
+Polls a running ``repro serve`` daemon's ``metrics`` frame at an
+interval and renders a single-screen text dashboard: request and job
+throughput (as deltas/sec since the last poll), cache hit ratio,
+inflight/pending gauges, latency quantiles from the bucketed
+histograms, and the pool-rebuild count. Rendering is plain ANSI
+(clear-screen + home, no curses, no terminal size games) so it works in
+any terminal, over ssh, and inside CI logs; pure functions do all the
+formatting, so tests never need a TTY.
+"""
+
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.serve.client import ServeClient, ServeClientError
+
+#: ANSI clear-screen + cursor-home; the whole "live" mechanism.
+CLEAR = "\x1b[2J\x1b[H"
+
+#: Counters shown in the throughput block, in display order.
+_RATE_ROWS = (
+    ("serve.requests", "requests"),
+    ("serve.jobs", "jobs"),
+    ("serve.cache.hit", "cache hits"),
+    ("serve.dedup.shared", "deduped"),
+    ("serve.executed", "executed"),
+    ("serve.failed", "failed"),
+)
+
+#: Latency histograms shown, in display order.
+_LATENCY_ROWS = (
+    ("serve.request.seconds", "request"),
+    ("serve.job.hit.seconds", "job:hit"),
+    ("serve.job.dedup.seconds", "job:dedup"),
+    ("serve.job.executed.seconds", "job:executed"),
+    ("serve.job.failed.seconds", "job:failed"),
+)
+
+
+def _seconds(value: Optional[float]) -> str:
+    """A latency in engineer-friendly units (µs/ms/s)."""
+    if value is None:
+        return "—"
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def format_top(
+    current: Mapping[str, Any],
+    previous: Optional[Mapping[str, Any]] = None,
+    elapsed: Optional[float] = None,
+) -> str:
+    """One dashboard screen from a ``metrics`` frame (and the previous
+    poll's frame for deltas). Pure: no I/O, no clock.
+
+    ``current``/``previous`` are metrics *frames* (``server``/``uptime``
+    /``run_id`` plus the ``metrics`` snapshot), as returned by
+    :meth:`repro.serve.client.ServeClient.metrics`.
+    """
+    snapshot = current.get("metrics") or {}
+    counters = snapshot.get("counters") or {}
+    gauges = snapshot.get("gauges") or {}
+    histograms = snapshot.get("histograms") or {}
+    prev_counters = (
+        (previous.get("metrics") or {}).get("counters") or {}
+    ) if previous else {}
+
+    lines: List[str] = []
+    uptime = current.get("uptime")
+    lines.append(
+        f"repro top — {current.get('server', '?')}"
+        + (f" · up {uptime:.0f}s" if isinstance(uptime, (int, float)) else "")
+        + (f" · run {current.get('run_id')}" if current.get("run_id") else "")
+    )
+    requests = counters.get("serve.requests", 0)
+    hits = counters.get("serve.cache.hit", 0)
+    jobs = counters.get("serve.jobs", 0)
+    ratio = f"{hits / jobs:6.1%}" if jobs else "     —"
+    lines.append(
+        f"inflight {gauges.get('serve.inflight', 0):>4}   "
+        f"pending {gauges.get('serve.queue.pending', 0):>4}   "
+        f"hit ratio {ratio}   "
+        f"pool rebuilds {counters.get('serve.pool.rebuilds', 0)}"
+    )
+    lines.append("")
+    lines.append(f"{'counter':<14} {'total':>10} {'delta':>8} {'per sec':>9}")
+    for name, label in _RATE_ROWS:
+        total = counters.get(name, 0)
+        if previous is not None:
+            delta = total - prev_counters.get(name, 0)
+            rate = (
+                f"{delta / elapsed:9.1f}" if elapsed and elapsed > 0
+                else f"{'—':>9}"
+            )
+            lines.append(f"{label:<14} {total:>10} {delta:>+8} {rate}")
+        else:
+            lines.append(f"{label:<14} {total:>10} {'—':>8} {'—':>9}")
+    lines.append("")
+    lines.append(
+        f"{'latency':<14} {'count':>8} {'p50':>10} {'p95':>10} "
+        f"{'p99':>10} {'max':>10}"
+    )
+    for name, label in _LATENCY_ROWS:
+        hist = histograms.get(name)
+        if not hist or not hist.get("count"):
+            continue
+        lines.append(
+            f"{label:<14} {hist['count']:>8} "
+            f"{_seconds(hist.get('p50')):>10} "
+            f"{_seconds(hist.get('p95')):>10} "
+            f"{_seconds(hist.get('p99')):>10} "
+            f"{_seconds(hist.get('max')):>10}"
+        )
+    if not requests and not jobs:
+        lines.append("")
+        lines.append("(no requests served yet)")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    interval: float = 2.0,
+    count: int = 0,
+    stream=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+) -> int:
+    """The polling loop behind ``repro top``.
+
+    Polls every ``interval`` seconds; ``count`` caps the number of
+    screens (0 = until interrupted). Returns a process exit code.
+    """
+    import sys
+
+    out = stream if stream is not None else sys.stdout
+    previous: Optional[Dict[str, Any]] = None
+    prev_at: Optional[float] = None
+    rendered = 0
+    try:
+        with ServeClient(
+            socket_path=socket_path, host=host, port=port, name="repro-top"
+        ) as client:
+            while True:
+                frame = client.metrics()
+                now = clock()
+                elapsed = now - prev_at if prev_at is not None else None
+                screen = format_top(frame, previous, elapsed)
+                out.write(CLEAR + screen)
+                out.flush()
+                previous, prev_at = frame, now
+                rendered += 1
+                if count and rendered >= count:
+                    return 0
+                sleep(interval)
+    except KeyboardInterrupt:
+        out.write("\n")
+        return 0
+    except ServeClientError as exc:
+        print(f"repro top: {exc}", file=sys.stderr)
+        return 1

@@ -13,9 +13,17 @@ structured layer that measures them across every execution surface:
   CongestRun` phases onto the bus through the existing profiler hook.
 * :mod:`repro.telemetry.sinks` — pluggable consumers: JSONL file,
   in-memory, human console (with the engine's historical progress
-  strings as the compat rendering).
+  strings as the compat rendering), and the bounded :class:`RingSink`.
+* :mod:`repro.telemetry.expose` — Prometheus-style text exposition of
+  a metrics snapshot (``repro metrics --prom``).
+* :mod:`repro.telemetry.flight` — the crash :class:`FlightRecorder`:
+  a ring of recent events auto-dumped to JSONL on pool rebuilds,
+  terminal job failures, daemon errors, and SIGTERM drain.
 * :mod:`repro.telemetry.summary` — per-phase rounds/messages/bits
   tables and logical-metric diffs over event streams (``repro trace``).
+* :mod:`repro.telemetry.report_html` — self-contained HTML run reports
+  (manifest, phase table, congestion heatmap, metrics snapshot) from
+  any captured stream (``repro report --html``).
 * :mod:`repro.telemetry.benchcheck` — the ``repro bench check``
   regression gate over the committed BENCH_*.json trajectory.
 
@@ -32,18 +40,28 @@ from repro.telemetry.benchcheck import (
     check_benches,
 )
 from repro.telemetry.core import LedgerBridge, Telemetry
+from repro.telemetry.expose import metric_name, render_json, render_prometheus
+from repro.telemetry.flight import FlightRecorder, latest_dump
 from repro.telemetry.manifest import (
     TELEMETRY_SCHEMA,
     RunManifest,
     git_describe,
     new_run_id,
 )
-from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.metrics import (
+    BUCKET_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.report_html import render_html_report
 from repro.telemetry.sinks import (
     CallbackSink,
     ConsoleSink,
     JsonlSink,
     MemorySink,
+    RingSink,
     Sink,
     encode_event,
     format_event,
@@ -59,17 +77,20 @@ from repro.telemetry.summary import (
 )
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "BenchCheckReport",
     "CallbackSink",
     "CheckRow",
     "ConsoleSink",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlSink",
     "LedgerBridge",
     "MemorySink",
     "MetricsRegistry",
+    "RingSink",
     "RunManifest",
     "Sink",
     "TELEMETRY_SCHEMA",
@@ -81,10 +102,15 @@ __all__ = [
     "format_event",
     "format_progress",
     "git_describe",
+    "latest_dump",
     "manifest_of",
+    "metric_name",
     "new_run_id",
     "phase_rows",
     "read_events",
+    "render_html_report",
+    "render_json",
+    "render_prometheus",
     "render_summary",
     "totals_of",
 ]

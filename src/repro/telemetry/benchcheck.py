@@ -2,8 +2,10 @@
 
 Re-runs a pinned subset of the committed benchmark trajectory —
 ``BENCH_profile.json`` (the distributed Steiner-forest pipeline per
-ledger engine) and ``BENCH_backends.json`` (FloodMax per simulation
-backend) — and compares against the committed entries:
+ledger engine), ``BENCH_backends.json`` (FloodMax per simulation
+backend), ``BENCH_serve.json`` (daemon load), and
+``BENCH_observe.json`` (observability overhead) — and compares against
+the committed entries:
 
 * **logical metrics** (rounds, messages, solution weight) must match
   the committed values *exactly*: they are deterministic, so any drift
@@ -178,11 +180,28 @@ def _measure_serve(workload: Dict[str, Any], n: int, backend: str) -> Dict[str, 
     }
 
 
+def _measure_observe(workload: Dict[str, Any], n: int, backend: str) -> Dict[str, Any]:
+    """One BENCH_observe-style entry, re-measured (same load generation
+    as ``benchmarks/bench_e20_observe.py``): ``backend`` is the daemon
+    mode (``instrumented`` or ``detached``), ``n`` the warm-hit request
+    count. Every timed request hits the same pre-warmed cache key, so
+    ``requests`` and ``hits`` are exact."""
+    from repro.serve.loadgen import measure_observe
+
+    entry = measure_observe(workload, requests=n, mode=backend)
+    return {
+        "seconds": entry["seconds"],
+        "requests": entry["requests"],
+        "hits": entry["hits"],
+    }
+
+
 #: Per-bench re-measurement drivers, keyed by the JSON's ``experiment``.
 _DRIVERS = {
     "e18-profile": _measure_pipeline,
     "e16-backends": _measure_floodmax,
     "e19-serve": _measure_serve,
+    "e20-observe": _measure_observe,
 }
 
 

@@ -154,6 +154,16 @@ class Telemetry:
 
     # -- lifecycle -------------------------------------------------------
 
+    def flush(self) -> None:
+        """Push every sink's buffered events to durable storage.
+
+        The daemon calls this on drain and crash paths so a process
+        about to exit (or already dying) leaves complete JSONL streams;
+        see :meth:`repro.telemetry.sinks.JsonlSink.flush`.
+        """
+        for sink in self._sinks:
+            sink.flush()
+
     def close(self) -> None:
         """Flush phase bridges, snapshot metrics, emit ``run_end`` with
         wall/cpu totals, and close every sink (idempotent)."""

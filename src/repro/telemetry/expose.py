@@ -1,0 +1,104 @@
+"""Prometheus-style text exposition for a metrics snapshot.
+
+The input is the plain-dict shape produced by
+:meth:`repro.telemetry.MetricsRegistry.snapshot` — which is also what a
+daemon's ``metrics`` protocol frame and the ``metrics`` event on a
+telemetry stream carry — so the same renderer serves a live scrape
+(``repro metrics --prom``), a captured JSONL, and tests.
+
+Output follows the Prometheus text format version 0.0.4:
+
+* counters are exposed as ``<name>_total``;
+* gauges are exposed as-is (non-numeric gauge values are skipped —
+  the text format only carries floats);
+* histograms expose the standard cumulative ``_bucket{le="..."}``
+  series plus ``_sum``/``_count``, and additionally ``_p50``/``_p95``/
+  ``_p99`` gauges with the registry's precomputed quantile estimates
+  (quantiles are not derivable server-side from buckets any more
+  precisely than the registry already did it).
+"""
+
+import json
+import re
+from typing import Any, Dict, List
+
+#: Prefix stamped on every exposed metric name.
+DEFAULT_PREFIX = "repro"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metric_name(name: str, prefix: str = DEFAULT_PREFIX) -> str:
+    """A dotted registry name as a legal Prometheus metric name."""
+    flat = _NAME_BAD_CHARS.sub("_", name)
+    if prefix:
+        flat = f"{prefix}_{flat}"
+    if not _NAME_OK.match(flat):
+        flat = "_" + flat
+    return flat
+
+
+def _format_value(value: float) -> str:
+    """A float in exposition form (shortest round-trip repr)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return format(value, "g")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _histogram_lines(name: str, hist: Dict[str, Any]) -> List[str]:
+    lines = [f"# TYPE {name} histogram"]
+    count = int(hist.get("count", 0))
+    total = float(hist.get("total", 0.0))
+    cumulative = 0
+    for bucket in hist.get("buckets", []):
+        cumulative += int(bucket["count"])
+        le = bucket.get("le")
+        if le is None:
+            continue  # overflow bucket folds into +Inf below
+        lines.append(
+            f'{name}_bucket{{le="{_format_value(float(le))}"}} {cumulative}'
+        )
+    lines.append(f'{name}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{name}_sum {_format_value(total)}")
+    lines.append(f"{name}_count {count}")
+    for q in ("p50", "p95", "p99"):
+        value = hist.get(q)
+        if value is None:
+            continue
+        lines.append(f"# TYPE {name}_{q} gauge")
+        lines.append(f"{name}_{q} {_format_value(float(value))}")
+    return lines
+
+
+def render_prometheus(
+    snapshot: Dict[str, Any], prefix: str = DEFAULT_PREFIX
+) -> str:
+    """A registry snapshot as Prometheus text exposition (0.0.4)."""
+    lines: List[str] = []
+    for raw, value in snapshot.get("counters", {}).items():
+        name = metric_name(raw, prefix) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(float(value))}")
+    for raw, value in snapshot.get("gauges", {}).items():
+        if not _is_number(value):
+            continue
+        name = metric_name(raw, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(float(value))}")
+    for raw, hist in snapshot.get("histograms", {}).items():
+        lines.extend(_histogram_lines(metric_name(raw, prefix), hist))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(snapshot: Dict[str, Any]) -> str:
+    """The snapshot as pretty-printed JSON (the ``--json`` scrape mode)."""
+    return json.dumps(snapshot, indent=2, sort_keys=True)

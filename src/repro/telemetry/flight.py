@@ -1,0 +1,103 @@
+"""Crash flight recorder: a ring of recent events, dumped on trouble.
+
+A :class:`FlightRecorder` is a sink that keeps the last N bus events in
+a :class:`~repro.telemetry.sinks.RingSink` and writes them to a
+timestamped JSONL file when something goes wrong — a worker-pool
+rebuild, a terminally failed job, an unhandled daemon error, or the
+SIGTERM drain. The daemon attaches one for its whole lifetime (see
+``repro serve --flight-dir``), so the question "what were the last
+things the service did before it died?" always has an on-disk answer,
+inspectable with ``repro flight show``.
+
+Dump files are named ``flight-<UTC stamp>-<counter>-<reason>.jsonl``;
+the counter disambiguates multiple dumps within one second and orders
+them, so the lexically greatest filename is always the newest dump.
+"""
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .sinks import RingSink, Sink
+
+#: Dump-file prefix; ``latest_dump`` and the CLI glob on this.
+DUMP_PREFIX = "flight-"
+
+#: Event kinds that trigger an automatic dump as soon as they are seen.
+#: ``pool_rebuilt`` marks a worker crash the service survived;
+#: a terminal failed ``job_end`` (no retry coming) marks one it did not.
+_TRIGGER_KINDS = ("pool_rebuilt",)
+
+
+def _is_trigger(event: Dict[str, Any]) -> Optional[str]:
+    kind = event.get("event")
+    if kind in _TRIGGER_KINDS:
+        return str(kind)
+    if (
+        kind == "job_end"
+        and event.get("status") == "failed"
+        and not event.get("will_retry")
+    ):
+        return "job-failed"
+    return None
+
+
+class FlightRecorder(Sink):
+    """Ring-buffer sink with automatic dump-on-trouble.
+
+    ``directory`` is created lazily on the first dump. Automatic dumps
+    fire *after* the triggering event is in the ring, so the dump's
+    last line names the trigger (e.g. the failing job's key).
+    """
+
+    def __init__(
+        self,
+        directory,
+        capacity: int = RingSink.DEFAULT_CAPACITY,
+        clock=time.time,
+    ) -> None:
+        self.directory = Path(directory)
+        self.ring = RingSink(capacity)
+        self.dumps: List[Path] = []
+        self._clock = clock
+        self._counter = 0
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        self.ring.handle(event)
+        reason = _is_trigger(event)
+        if reason is not None:
+            self.dump(reason)
+
+    def dump(self, reason: str) -> Optional[Path]:
+        """Write the current ring to a timestamped file; None if empty."""
+        if not len(self.ring):
+            return None
+        stamp = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime(self._clock()))
+        self._counter += 1
+        safe_reason = "".join(
+            ch if ch.isalnum() or ch == "-" else "-" for ch in reason
+        )
+        path = self.directory / (
+            f"{DUMP_PREFIX}{stamp}-{self._counter:04d}-{safe_reason}.jsonl"
+        )
+        self.ring.dump(path)
+        self.dumps.append(path)
+        return path
+
+    def close(self) -> None:
+        """Closing is not a dump: clean shutdown paths dump explicitly
+        (with a reason) before the bus closes its sinks."""
+
+
+def latest_dump(directory) -> Optional[Path]:
+    """The newest flight dump in ``directory``, or None.
+
+    Filenames embed a UTC stamp plus a per-recorder counter, so
+    lexicographic order is dump order within one recorder and
+    wall-clock order across daemon restarts.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    dumps = sorted(directory.glob(f"{DUMP_PREFIX}*.jsonl"))
+    return dumps[-1] if dumps else None

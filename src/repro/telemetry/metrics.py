@@ -6,9 +6,34 @@ lookup and an add. The bus snapshots the whole registry into a single
 ``metrics`` event when the run closes (:meth:`repro.telemetry.Telemetry.
 close`), which keeps JSONL streams compact while still recording every
 counter's final value.
+
+Histograms use one fixed log-spaced bucket layout shared by every
+instrument (:data:`BUCKET_BOUNDS`): all histograms are mergeable with
+each other and a snapshot can be rendered straight into Prometheus
+text exposition (``repro.telemetry.expose``) without re-binning.
 """
 
-from typing import Any, Dict
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional
+
+#: Smallest bucket upper bound, in the histogram's native unit
+#: (seconds for every latency histogram in the repo): 1 microsecond.
+BUCKET_MIN = 1e-6
+
+#: Geometric growth factor between consecutive bucket upper bounds.
+BUCKET_GROWTH = 2.0
+
+#: Number of finite buckets. 1e-6 * 2**33 ≈ 8590, so the finite range
+#: spans 1µs .. ~2.4 hours; anything above lands in the +Inf overflow
+#: bucket. Quantile resolution is a factor of 2 everywhere in range.
+BUCKET_COUNT = 34
+
+#: The shared finite bucket upper bounds (ascending). Values ≤
+#: ``BUCKET_BOUNDS[i]`` and > ``BUCKET_BOUNDS[i-1]`` land in bucket
+#: ``i``; values above the last bound land in the overflow bucket.
+BUCKET_BOUNDS: List[float] = [
+    BUCKET_MIN * BUCKET_GROWTH**i for i in range(BUCKET_COUNT)
+]
 
 
 class Counter:
@@ -27,22 +52,37 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (queue depth, worker count)."""
+    """A point-in-time value (queue depth, worker count).
 
-    __slots__ = ("name", "value")
+    A never-set gauge reads 0 (not ``None``) so numeric renderings —
+    deltas in ``repro top``, Prometheus exposition — never trip over a
+    gauge that merely hasn't moved yet; ``unset`` records whether
+    :meth:`set` has ever been called.
+    """
+
+    __slots__ = ("name", "value", "unset")
 
     def __init__(self, name: str) -> None:
         self.name = name
-        self.value: Any = None
+        self.value: Any = 0
+        self.unset = True
 
     def set(self, value: Any) -> None:
         self.value = value
+        self.unset = False
 
 
 class Histogram:
-    """Summary statistics over observed samples (per-job wall times)."""
+    """Bucketed distribution over observed samples (per-job wall times).
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    Fixed log-spaced buckets (:data:`BUCKET_BOUNDS`) plus an overflow
+    bucket; observation is O(log #buckets) via bisect. Quantiles are
+    estimated by linear interpolation inside the bucket where the
+    target rank falls, clamped to the observed min/max — accurate to
+    one bucket width (a factor of :data:`BUCKET_GROWTH`).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -50,6 +90,9 @@ class Histogram:
         self.total = 0.0
         self.min: float = float("inf")
         self.max: float = float("-inf")
+        # buckets[i] counts samples in (BUCKET_BOUNDS[i-1], BUCKET_BOUNDS[i]];
+        # buckets[BUCKET_COUNT] is the +Inf overflow bucket.
+        self.buckets: List[int] = [0] * (BUCKET_COUNT + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -58,8 +101,52 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's samples into this one.
+
+        Sound because every histogram shares the same fixed bucket
+        layout — the use case is summing per-worker or per-run
+        distributions into one service-level view.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimated value at quantile ``q`` in [0, 1], or None if empty."""
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        # Rank of the target sample (1-based, ceil) in cumulative counts.
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.buckets):
+            if not n:
+                continue
+            if cumulative + n >= target:
+                # Interpolate within this bucket's span.
+                lower = BUCKET_BOUNDS[i - 1] if i > 0 else 0.0
+                upper = BUCKET_BOUNDS[i] if i < BUCKET_COUNT else self.max
+                if upper < lower:
+                    upper = lower
+                fraction = (target - cumulative) / n
+                estimate = lower + (upper - lower) * fraction
+                # Clamp to the observed range: bucket edges are coarser
+                # than the true extremes.
+                return min(max(estimate, self.min), self.max)
+            cumulative += n
+        return self.max
 
     def to_dict(self) -> Dict[str, Any]:
+        """JSON-roundtrippable summary; the empty case has no inf/-inf."""
         if not self.count:
             return {"count": 0}
         return {
@@ -68,6 +155,14 @@ class Histogram:
             "mean": self.total / self.count,
             "min": self.min,
             "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": [
+                {"le": BUCKET_BOUNDS[i] if i < BUCKET_COUNT else None, "count": n}
+                for i, n in enumerate(self.buckets)
+                if n
+            ],
         }
 
 

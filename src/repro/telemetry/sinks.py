@@ -19,9 +19,11 @@ how pre-telemetry call sites keep their exact output.
 """
 
 import json
+import os
 import sys
+from collections import deque
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional
 
 #: Event fields that are bus plumbing, not payload (hidden in verbose
 #: console rendering).
@@ -78,6 +80,14 @@ class Sink:
     def handle(self, event: Dict[str, Any]) -> None:
         raise NotImplementedError
 
+    def flush(self) -> None:
+        """Force buffered events to durable storage (no-op by default).
+
+        Called by :meth:`repro.telemetry.Telemetry.flush` on daemon
+        drain/crash paths, where "the process is about to die" must not
+        mean "the stream loses its tail".
+        """
+
     def close(self) -> None:
         """Idempotent resource release (files, handles)."""
 
@@ -118,10 +128,65 @@ class JsonlSink(Sink):
         self._handle.write(encode_event(event) + "\n")
         self._handle.flush()
 
+    def flush(self) -> None:
+        """Flush + fsync so a SIGTERM'd daemon never truncates a line."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
     def close(self) -> None:
         if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
             self._handle.close()
             self._handle = None
+
+
+class RingSink(Sink):
+    """A bounded in-memory ring of the last ``capacity`` events.
+
+    The flight recorder's storage layer: cheap enough to leave attached
+    for a daemon's whole lifetime, and dumpable to JSONL post-mortem.
+    ``seen`` counts every event ever handled, so a dump can report how
+    many earlier events the ring evicted; eviction is strictly FIFO.
+    """
+
+    DEFAULT_CAPACITY = 512
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.seen = 0
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        self.seen += 1
+        self._ring.append(event)
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def dump(self, path) -> int:
+        """Write the retained events to ``path`` as fsync'd JSONL.
+
+        Returns the number of events written. The file is truncated
+        first: a dump is a complete snapshot of the ring, not an
+        append log.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        events = self.events()
+        with path.open("w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(encode_event(event) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return len(events)
 
 
 class CallbackSink(Sink):

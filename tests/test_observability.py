@@ -1,0 +1,557 @@
+"""The observability surface: metrics, exposition, flight recorder, top.
+
+Covers the PR 8 layer end to end at three depths:
+
+* unit — the fixed-bucket :class:`Histogram` (quantiles, merge, empty
+  JSON shape), :class:`Gauge` defaults, the Prometheus renderer (a
+  golden snapshot), :class:`RingSink` eviction invariants, and the
+  :class:`FlightRecorder` triggers;
+* service — the daemon's per-outcome counters/gauges/histograms after
+  a known request mix, the ``metrics`` protocol frame transcript, and
+  the acceptance pin that an induced worker crash leaves a readable
+  flight dump whose last events name the failing job key;
+* CLI — ``repro metrics`` scraped live from a unix-socket daemon,
+  ``repro flight show|dump``, ``repro report --html``, and the pure
+  :func:`format_top` renderer.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.cli import main
+from repro.serve import protocol
+from repro.serve.loadgen import launch_daemon, single_job_spec, stop_daemon
+from repro.serve.server import ServeServer
+from repro.serve.service import ServiceStats, SolverService
+from repro.serve.top import format_top
+from repro.telemetry import (
+    BUCKET_BOUNDS,
+    FlightRecorder,
+    JsonlSink,
+    MetricsRegistry,
+    RingSink,
+    RunManifest,
+    Telemetry,
+    latest_dump,
+    metric_name,
+    read_events,
+    render_prometheus,
+)
+from repro.telemetry.metrics import BUCKET_COUNT, Gauge, Histogram
+from repro.telemetry.report_html import render_html_report
+from tests.test_serve import _poison_worker, _spec, converse, run
+
+# ---------------------------------------------------------------------------
+# histograms and gauges
+# ---------------------------------------------------------------------------
+
+def test_histogram_buckets_are_log_spaced_and_shared():
+    assert len(BUCKET_BOUNDS) == BUCKET_COUNT
+    for lo, hi in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]):
+        assert hi == pytest.approx(2.0 * lo)
+    h = Histogram("h")
+    assert len(h.buckets) == BUCKET_COUNT + 1  # finite + overflow
+
+
+def test_histogram_quantiles_track_observations():
+    h = Histogram("h")
+    for value in (2e-6, 3e-6, 4e-6):
+        h.observe(value)
+    assert h.count == 3
+    assert h.min == 2e-6 and h.max == 4e-6
+    # Interpolated inside the (2e-6, 4e-6] bucket, clamped to observed.
+    assert h.quantile(0.5) == pytest.approx(2.5e-6)
+    assert h.quantile(0.0) == 2e-6
+    assert h.quantile(1.0) == 4e-6
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_overflow_bucket_quantile_stays_finite():
+    h = Histogram("h")
+    huge = BUCKET_BOUNDS[-1] * 10  # beyond every finite bucket
+    h.observe(huge)
+    assert h.buckets[BUCKET_COUNT] == 1
+    assert h.quantile(0.99) == huge
+    assert math.isfinite(h.to_dict()["p99"])
+
+
+def test_histogram_merge_sums_samples():
+    a, b = Histogram("a"), Histogram("b")
+    a.observe(1e-6)
+    a.observe(1e-3)
+    b.observe(5.0)
+    a.merge(b)
+    assert a.count == 3
+    assert a.total == pytest.approx(1e-6 + 1e-3 + 5.0)
+    assert a.min == 1e-6 and a.max == 5.0
+    assert sum(a.buckets) == 3
+    # Merged quantiles reflect the union of samples.
+    assert a.quantile(1.0) == 5.0
+
+
+def test_histogram_empty_to_dict_is_json_clean():
+    empty = Histogram("h").to_dict()
+    assert empty == {"count": 0}
+    # No inf/-inf anywhere: the dict must survive strict JSON.
+    json.dumps(empty, allow_nan=False)
+    h = Histogram("h")
+    h.observe(0.25)
+    json.dumps(h.to_dict(), allow_nan=False)
+
+
+def test_gauge_reads_zero_until_set():
+    g = Gauge("g")
+    assert g.value == 0 and g.unset
+    g.set(7)
+    assert g.value == 7 and not g.unset
+
+
+# ---------------------------------------------------------------------------
+# prometheus exposition
+# ---------------------------------------------------------------------------
+
+def test_metric_name_sanitization():
+    assert metric_name("serve.cache.hit") == "repro_serve_cache_hit"
+    assert metric_name("a b/c", prefix="") == "a_b_c"
+
+
+def test_render_prometheus_golden():
+    registry = MetricsRegistry()
+    registry.counter("serve.requests").inc(3)
+    registry.gauge("serve.inflight").set(2)
+    hist = registry.histogram("serve.request.seconds")
+    for value in (2e-6, 3e-6, 4e-6):
+        hist.observe(value)
+    assert render_prometheus(registry.snapshot()) == (
+        "# TYPE repro_serve_requests_total counter\n"
+        "repro_serve_requests_total 3\n"
+        "# TYPE repro_serve_inflight gauge\n"
+        "repro_serve_inflight 2\n"
+        "# TYPE repro_serve_request_seconds histogram\n"
+        'repro_serve_request_seconds_bucket{le="2e-06"} 1\n'
+        'repro_serve_request_seconds_bucket{le="4e-06"} 3\n'
+        'repro_serve_request_seconds_bucket{le="+Inf"} 3\n'
+        "repro_serve_request_seconds_sum 9e-06\n"
+        "repro_serve_request_seconds_count 3\n"
+        "# TYPE repro_serve_request_seconds_p50 gauge\n"
+        "repro_serve_request_seconds_p50 2.5e-06\n"
+        "# TYPE repro_serve_request_seconds_p95 gauge\n"
+        "repro_serve_request_seconds_p95 3.85e-06\n"
+        "# TYPE repro_serve_request_seconds_p99 gauge\n"
+        "repro_serve_request_seconds_p99 3.97e-06\n"
+    )
+
+
+def test_render_prometheus_skips_non_numeric_gauges():
+    registry = MetricsRegistry()
+    registry.gauge("serve.mode").set("draining")
+    registry.gauge("serve.ok").set(True)  # bools are not numbers here
+    assert render_prometheus(registry.snapshot()) == ""
+
+
+# ---------------------------------------------------------------------------
+# ring sink and flight recorder
+# ---------------------------------------------------------------------------
+
+def test_ring_sink_evicts_fifo_and_counts_everything():
+    ring = RingSink(capacity=4)
+    for seq in range(10):
+        ring.handle({"seq": seq})
+    assert len(ring) == 4
+    assert ring.seen == 10
+    assert [e["seq"] for e in ring.events()] == [6, 7, 8, 9]
+
+
+def test_ring_sink_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        RingSink(capacity=0)
+
+
+def test_ring_sink_dump_is_a_truncating_snapshot(tmp_path):
+    ring = RingSink(capacity=8)
+    for seq in range(3):
+        ring.handle({"seq": seq})
+    path = tmp_path / "nested" / "ring.jsonl"
+    assert ring.dump(path) == 3
+    assert [e["seq"] for e in read_events(path)] == [0, 1, 2]
+    ring.handle({"seq": 3})
+    assert ring.dump(path) == 4  # re-dump replaces, never appends
+    assert [e["seq"] for e in read_events(path)] == [0, 1, 2, 3]
+
+
+def test_flight_recorder_dumps_on_terminal_job_failure(tmp_path):
+    recorder = FlightRecorder(tmp_path, capacity=16)
+    recorder.handle({"event": "job_start", "key": "k1"})
+    recorder.handle(
+        {"event": "job_end", "status": "failed", "will_retry": True, "key": "k1"}
+    )
+    assert recorder.dumps == []  # a retry is coming: not an incident yet
+    recorder.handle(
+        {"event": "job_end", "status": "failed", "will_retry": False, "key": "k1"}
+    )
+    assert len(recorder.dumps) == 1
+    dump = recorder.dumps[0]
+    assert "job-failed" in dump.name
+    events = read_events(dump)
+    assert events[-1]["key"] == "k1" and events[-1]["status"] == "failed"
+
+
+def test_flight_recorder_dumps_on_pool_rebuild(tmp_path):
+    recorder = FlightRecorder(tmp_path, capacity=16)
+    recorder.handle({"event": "pool_rebuilt", "generation": 1})
+    assert len(recorder.dumps) == 1
+    assert "pool-rebuilt" in recorder.dumps[0].name  # reason is sanitized
+
+
+def test_flight_recorder_close_is_not_a_dump(tmp_path):
+    recorder = FlightRecorder(tmp_path, capacity=16)
+    recorder.handle({"event": "job_start", "key": "k"})
+    recorder.close()
+    assert recorder.dumps == []
+    assert latest_dump(tmp_path) is None
+
+
+def test_latest_dump_is_the_lexically_newest(tmp_path):
+    assert latest_dump(tmp_path / "missing") is None
+    recorder = FlightRecorder(tmp_path, capacity=4, clock=lambda: 0.0)
+    recorder.handle({"event": "pool_rebuilt"})
+    recorder.handle({"event": "pool_rebuilt"})
+    assert len(recorder.dumps) == 2
+    assert latest_dump(tmp_path) == recorder.dumps[-1]
+
+
+def test_worker_crash_leaves_flight_dump_naming_the_job(tmp_path):
+    """The acceptance pin: an induced worker crash (a poison job that
+    kills its worker on every attempt) leaves a readable flight dump
+    whose last events name the failing job key."""
+    recorder = FlightRecorder(tmp_path / "flight", capacity=64)
+    telemetry = Telemetry(manifest=RunManifest(workload={}), sinks=[recorder])
+    spec = _spec("poison-flight")
+
+    async def body():
+        service = SolverService(
+            store=None, max_workers=1, worker=_poison_worker,
+            telemetry=telemetry,
+        )
+        await service.start()
+        try:
+            with pytest.raises(Exception):
+                await service.submit(spec)
+        finally:
+            await service.close(drain=False)
+
+    run(body())
+    # The crash sequence also triggers pool-rebuild dumps (one per
+    # rebuilt pool); the incident we pin is the terminal job failure.
+    failed_dumps = sorted(
+        (tmp_path / "flight").glob("flight-*-job-failed.jsonl")
+    )
+    assert failed_dumps, [p.name for p in (tmp_path / "flight").iterdir()]
+    events = read_events(failed_dumps[-1])
+    last = events[-1]
+    assert last["event"] == "job_end" and last["status"] == "failed"
+    assert last["will_retry"] is False
+    from repro.engine.jobs import expand_jobs
+
+    assert last["key"] == expand_jobs(spec)[0].key
+
+
+# ---------------------------------------------------------------------------
+# jsonl sink durability
+# ---------------------------------------------------------------------------
+
+def test_jsonl_sink_flush_and_telemetry_flush(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    sink = JsonlSink(path)
+    telemetry = Telemetry(manifest=RunManifest(workload={}), sinks=[sink])
+    telemetry.emit("ping")
+    telemetry.flush()  # flush + fsync must leave a fully readable stream
+    kinds = [e["event"] for e in read_events(path)]
+    assert kinds == ["manifest", "ping"]
+    telemetry.close()
+
+
+# ---------------------------------------------------------------------------
+# service metrics
+# ---------------------------------------------------------------------------
+
+def test_service_stats_is_a_view_over_the_registry():
+    registry = MetricsRegistry()
+    stats = ServiceStats(registry)
+    assert stats.requests == 0 and stats.executed == 0
+    registry.counter("serve.requests").inc(2)
+    registry.counter("serve.cache.hit").inc()
+    assert stats.requests == 2 and stats.cache_hits == 1
+    assert stats.to_dict() == {
+        "requests": 2, "jobs": 0, "executed": 0, "cache_hits": 1,
+        "deduped": 0, "failed": 0, "pool_rebuilds": 0,
+    }
+    with pytest.raises(AttributeError):
+        stats.nonsense
+
+
+def test_service_records_per_outcome_metrics():
+    async def body():
+        service = SolverService(store=None, max_workers=1)
+        await service.start()
+        try:
+            await service.submit(_spec("obs-mix"))      # miss: executed
+            await service.submit(_spec("obs-mix"))      # warm: cache hit
+        finally:
+            await service.close(drain=False)
+        return service.metrics.snapshot()
+
+    snapshot = run(body())
+    counters = snapshot["counters"]
+    assert counters["serve.requests"] == 2
+    assert counters["serve.jobs"] == 2
+    assert counters["serve.executed"] == 1
+    assert counters["serve.cache.hit"] == 1
+    assert counters["serve.failed"] == 0
+    assert snapshot["gauges"]["serve.inflight"] == 0
+    assert snapshot["gauges"]["serve.queue.pending"] == 0
+    hists = snapshot["histograms"]
+    assert hists["serve.request.seconds"]["count"] == 2
+    assert hists["serve.job.executed.seconds"]["count"] == 1
+    assert hists["serve.job.hit.seconds"]["count"] == 1
+
+
+def test_service_shares_the_telemetry_bus_registry():
+    telemetry = Telemetry(manifest=RunManifest(workload={}))
+    service = SolverService(store=None, telemetry=telemetry)
+    assert service.metrics is telemetry.metrics
+    detached = SolverService(store=None)
+    assert isinstance(detached.metrics, MetricsRegistry)
+    assert detached.metrics is not telemetry.metrics
+
+
+# ---------------------------------------------------------------------------
+# the metrics protocol frame
+# ---------------------------------------------------------------------------
+
+def test_golden_metrics_frame():
+    spec_dict = single_job_spec("obs-frame")
+
+    async def body():
+        service = SolverService(store=None, max_workers=1)
+        await service.start()
+        try:
+            from repro.engine.registry import ScenarioSpec
+
+            await service.submit(ScenarioSpec.from_dict(spec_dict))
+            server = ServeServer(service)
+            return await converse(server, [
+                protocol.hello_frame("me"),
+                protocol.metrics_frame("r1"),
+            ])
+        finally:
+            await service.close(drain=False)
+
+    replies = run(body())
+    assert [f["type"] for f in replies] == ["welcome", "metrics"]
+    frame = replies[1]
+    assert frame["id"] == "r1"
+    assert frame["server"] and "run_id" in frame
+    snapshot = frame["metrics"]
+    assert snapshot["counters"]["serve.executed"] == 1
+    assert snapshot["histograms"]["serve.request.seconds"]["count"] == 1
+    # The frame is additive: the version handshake is unchanged.
+    assert protocol.PROTOCOL_VERSION == 1
+    assert "metrics" in protocol.CLIENT_FRAMES
+
+
+# ---------------------------------------------------------------------------
+# repro top rendering (pure)
+# ---------------------------------------------------------------------------
+
+def _top_frame(requests, hits, executed):
+    hist = Histogram("serve.request.seconds")
+    for _ in range(requests):
+        hist.observe(0.002)
+    return {
+        "type": "metrics", "server": "test-daemon", "uptime": 12.0,
+        "run_id": "r-test",
+        "metrics": {
+            "counters": {
+                "serve.requests": requests, "serve.jobs": requests,
+                "serve.cache.hit": hits, "serve.executed": executed,
+                "serve.pool.rebuilds": 0,
+            },
+            "gauges": {"serve.inflight": 1, "serve.queue.pending": 2},
+            "histograms": {"serve.request.seconds": hist.to_dict()},
+        },
+    }
+
+
+def test_format_top_first_poll():
+    screen = format_top(_top_frame(8, 4, 4))
+    assert "repro top — test-daemon · up 12s · run r-test" in screen
+    assert "inflight    1" in screen
+    assert "pending    2" in screen
+    assert "hit ratio  50.0%" in screen
+    row = next(
+        line for line in screen.splitlines() if line.startswith("requests")
+    )
+    assert row.split()[1] == "8"
+    assert "2.00ms" in screen  # the request-latency p50 row
+
+
+def test_format_top_deltas_and_rates():
+    screen = format_top(
+        _top_frame(10, 5, 5), previous=_top_frame(8, 4, 4), elapsed=2.0
+    )
+    assert "+2" in screen and "1.0" in screen  # delta and per-sec columns
+
+
+def test_format_top_idle_daemon():
+    screen = format_top({
+        "type": "metrics", "server": "idle", "uptime": 1.0,
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+    })
+    assert "(no requests served yet)" in screen
+
+
+# ---------------------------------------------------------------------------
+# HTML run report
+# ---------------------------------------------------------------------------
+
+def _report_events():
+    return [
+        {"event": "manifest", "run_id": "r-html", "schema": 3,
+         "workload": {"family": "gnp", "n": 16}},
+        {"event": "phase", "phase": "moat_growth", "rounds": 8,
+         "messages": 640, "bits": 0, "wall_time": 0.01},
+        {"event": "phase", "phase": "pruning", "rounds": 4,
+         "messages": 80, "bits": 0, "wall_time": 0.002},
+        {"event": "metrics",
+         "counters": {"engine.cache.hit": 2}, "gauges": {},
+         "histograms": {}},
+        {"event": "run_end", "wall_time": 0.5},
+    ]
+
+
+def test_render_html_report_is_self_contained():
+    html_text = render_html_report(_report_events(), title="t <&>")
+    assert html_text.lower().startswith("<!doctype html>")
+    assert "t &lt;&amp;&gt;" in html_text  # titles are escaped
+    assert "r-html" in html_text
+    assert "moat_growth" in html_text and "pruning" in html_text
+    assert 'class="cell hm' in html_text  # heatmap cells
+    assert "prefers-color-scheme: dark" in html_text
+    assert "engine.cache.hit" in html_text
+    # Self-contained: no external fetches of any kind.
+    for marker in ("http://", "https://", "<script", "@import"):
+        assert marker not in html_text
+
+
+def test_render_html_report_survives_empty_stream():
+    html_text = render_html_report([])
+    assert "No manifest event" in html_text
+    assert "No phase events" in html_text
+    assert "No metrics snapshot" in html_text
+
+
+def test_heatmap_tooltips_carry_exact_values():
+    html_text = render_html_report(_report_events())
+    assert "moat_growth · rounds" in html_text
+    assert "messages" in html_text
+
+
+# ---------------------------------------------------------------------------
+# CLI: flight show/dump, report --html, live metrics scrape
+# ---------------------------------------------------------------------------
+
+def _write_dump(directory):
+    recorder = FlightRecorder(directory, capacity=8)
+    recorder.handle({"event": "job_start", "key": "k9"})
+    recorder.handle(
+        {"event": "job_end", "status": "failed", "will_retry": False,
+         "key": "k9"}
+    )
+    return recorder.dumps[0]
+
+
+def test_flight_cli_show_and_dump(tmp_path, capsys):
+    directory = tmp_path / "flight"
+    dump = _write_dump(directory)
+
+    assert main(["flight", "show", str(directory)]) == 0
+    out = capsys.readouterr().out
+    assert f"flight dump {dump}" in out and "k9" in out
+
+    assert main(["flight", "show", str(directory), "--last", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "2 events" not in out and "1 events" in out
+
+    target = tmp_path / "exported.jsonl"
+    assert main(
+        ["flight", "dump", str(dump), "--out", str(target)]
+    ) == 0
+    capsys.readouterr()
+    assert [e["key"] for e in read_events(target)] == ["k9", "k9"]
+
+
+def test_flight_cli_errors_without_dumps(tmp_path, capsys):
+    empty = tmp_path / "flight"
+    empty.mkdir()
+    assert main(["flight", "show", str(empty)]) == 1
+    assert "no flight dumps" in capsys.readouterr().err
+
+
+def test_report_html_cli(tmp_path, capsys):
+    stream = tmp_path / "events.jsonl"
+    stream.write_text(
+        "\n".join(json.dumps(e) for e in _report_events()) + "\n",
+        encoding="utf-8",
+    )
+    out = tmp_path / "report.html"
+    assert main(
+        ["report", "--html", str(out), "--events", str(stream)]
+    ) == 0
+    capsys.readouterr()
+    assert "moat_growth" in out.read_text(encoding="utf-8")
+    # --html without --events is a usage error, not a crash.
+    assert main(["report", "--html", str(out)]) == 2
+    assert "--events" in capsys.readouterr().err
+
+
+def test_metrics_cli_scrapes_a_live_daemon(tmp_path, capsys):
+    """End-to-end acceptance: a unix-socket daemon with a known request
+    mix, scraped through ``repro metrics`` — exact counters in --json,
+    valid exposition with quantiles in --prom."""
+    from repro.serve.client import ServeClient
+
+    socket_path = tmp_path / "serve.sock"
+    daemon = launch_daemon(
+        socket_path, tmp_path / "store.jsonl", workers=1,
+        extra_args=("--quiet", "--no-flight"),
+    )
+    try:
+        with ServeClient(socket_path=str(socket_path)) as client:
+            client.submit(spec=single_job_spec("cli-scrape"))  # miss
+            client.submit(spec=single_job_spec("cli-scrape"))  # hit
+
+        assert main(["metrics", "--socket", str(socket_path), "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["serve.requests"] == 2
+        assert snapshot["counters"]["serve.executed"] == 1
+        assert snapshot["counters"]["serve.cache.hit"] == 1
+        assert snapshot["histograms"]["serve.request.seconds"]["count"] == 2
+
+        assert main(["metrics", "--socket", str(socket_path), "--prom"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 2" in text
+        assert 'repro_serve_request_seconds_bucket{le="+Inf"} 2' in text
+        assert "repro_serve_request_seconds_p99" in text
+    finally:
+        assert stop_daemon(daemon) == 0
+
+
+def test_metrics_cli_without_daemon(tmp_path, capsys):
+    rc = main(["metrics", "--socket", str(tmp_path / "none.sock")])
+    assert rc == 1
+    assert "transport" in capsys.readouterr().err
