@@ -27,6 +27,9 @@ Commands:
   telemetry to subscribed connections.
 * ``submit`` — send one or more scenario requests to a running daemon.
 * ``ping`` — liveness / stats probe of a running daemon.
+* ``store`` — result-store utilities: ``inspect`` (rows, schema
+  histogram, index status), ``migrate`` (rewrite every row at the
+  current schema), ``reindex`` (rebuild the sidecar key index).
 
 The engine subcommands (``sweep``/``batch``/``suite``/``profile``)
 share ``--quiet`` / ``--verbose`` / ``--telemetry PATH`` flags mapping
@@ -38,6 +41,7 @@ the experiment engine and the benchmarks.
 
 import argparse
 import json
+import os
 import random
 import sys
 from dataclasses import replace
@@ -412,6 +416,49 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run without the flight recorder",
     )
+    serve.add_argument(
+        "--store-refresh",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="re-read the store on this cadence so rows appended by "
+        "other processes (CLI sweeps) become cache hits (0 = off)",
+    )
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="result-store utilities (inspect / migrate / reindex)",
+    )
+    store_sub = store_cmd.add_subparsers(dest="action", required=True)
+    store_inspect = store_sub.add_parser(
+        "inspect",
+        help="row count, schema-version histogram, and index status",
+    )
+    store_inspect.add_argument("path", metavar="STORE",
+                               help="JSONL store file")
+    store_migrate = store_sub.add_parser(
+        "migrate",
+        help="rewrite every row at the current schema (atomic replace)",
+    )
+    store_migrate.add_argument("path", metavar="STORE",
+                               help="JSONL store file")
+    store_migrate.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the migrated store here instead of in-place",
+    )
+    store_migrate.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what would be rewritten without writing anything",
+    )
+    store_reindex = store_sub.add_parser(
+        "reindex",
+        help="force-rebuild the sidecar key index from the JSONL",
+    )
+    store_reindex.add_argument("path", metavar="STORE",
+                               help="JSONL store file")
 
     submit = sub.add_parser(
         "submit", help="submit scenario requests to a running daemon"
@@ -1045,6 +1092,7 @@ def _cmd_bench(args) -> int:
                 "BENCH_backends.json",
                 "BENCH_serve.json",
                 "BENCH_observe.json",
+                "BENCH_store.json",
             )
             if Path(name).is_file()
         ]
@@ -1123,7 +1171,12 @@ def _cmd_serve(args) -> int:
             telemetry=telemetry,
         )
         await service.start()
-        server = ServeServer(service, rate=args.rate, burst=args.burst)
+        server = ServeServer(
+            service,
+            rate=args.rate,
+            burst=args.burst,
+            store_refresh=args.store_refresh,
+        )
         if args.socket is not None:
             await server.start_unix(args.socket)
             endpoint = f"unix:{args.socket}"
@@ -1327,6 +1380,78 @@ def _cmd_ping(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    from collections import Counter
+
+    from repro.engine.index import StoreIndex, scan_rows
+    from repro.engine.migration import CHAIN
+    from repro.engine.store import SCHEMA_VERSION
+
+    path = Path(args.path)
+    if not path.exists():
+        print(f"error: no store at {path}", file=sys.stderr)
+        return 2
+    if args.action == "inspect":
+        rows = 0
+        versions: Counter = Counter()
+        keys = set()
+        duplicates = 0
+        for _, _, row in scan_rows(path):
+            rows += 1
+            versions[CHAIN.row_version(row)] += 1
+            key = row.get("key")
+            if key in keys:
+                duplicates += 1
+            keys.add(key)
+        status = StoreIndex(path).status()
+        print(f"store    {path} ({path.stat().st_size} bytes)")
+        print(f"rows     {rows} ({len(keys)} distinct keys, "
+              f"{duplicates} duplicates)")
+        histogram = ", ".join(
+            f"v{version}: {count}" for version, count in sorted(versions.items())
+        )
+        print(f"schema   current v{SCHEMA_VERSION}; "
+              f"stored {{{histogram or 'empty'}}}")
+        print(f"index    {status['state']} "
+              f"({status['keys']} keys over {status['indexed_bytes']} bytes)")
+        return 0
+    if args.action == "migrate":
+        target = Path(args.output) if args.output else path
+        versions = Counter()
+        rows = []
+        for _, _, row in scan_rows(path):
+            versions[CHAIN.row_version(row)] += 1
+            migrated = CHAIN.migrate(row)
+            migrated["schema"] = SCHEMA_VERSION
+            rows.append(migrated)
+        stale = sum(
+            count for version, count in versions.items()
+            if version < SCHEMA_VERSION
+        )
+        if args.dry_run:
+            print(f"would rewrite {len(rows)} rows to {target} "
+                  f"({stale} below v{SCHEMA_VERSION})")
+            return 0
+        tmp = target.with_name(target.name + ".migrating")
+        tmp.parent.mkdir(parents=True, exist_ok=True)
+        with tmp.open("w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        os.replace(tmp, target)
+        # The rewrite invalidates the sidecar by construction; rebuild
+        # now so the next reader doesn't pay it.
+        StoreIndex(target).rebuild()
+        print(f"migrated {len(rows)} rows to {target} "
+              f"({stale} upgraded to v{SCHEMA_VERSION}, index rebuilt)")
+        return 0
+    index = StoreIndex(path)
+    index.rebuild()
+    status = index.status()
+    print(f"reindexed {path}: {status['rows']} rows, "
+          f"{status['keys']} keys over {status['indexed_bytes']} bytes")
+    return 0
+
+
 def _cmd_report(args) -> int:
     if args.html is not None:
         if args.events is None:
@@ -1381,6 +1506,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "metrics": _cmd_metrics,
         "top": _cmd_top,
         "flight": _cmd_flight,
+        "store": _cmd_store,
         "report": _cmd_report,
     }
     return handlers[args.command](args)

@@ -17,6 +17,12 @@ first-class subsystem:
   the same runner/store stack.
 * :mod:`repro.engine.store` — append-only JSONL result store with
   content-hash caching (re-running a spec skips computed rows).
+* :mod:`repro.engine.migration` — the declarative schema-migration
+  chain (one :class:`MigrationStep` per version bump, validated
+  gapless at import time) every store read goes through.
+* :mod:`repro.engine.index` — the sqlite sidecar key index that makes
+  store lookups O(log n) seek-reads while the JSONL stays the
+  append-only source of truth.
 * :mod:`repro.engine.aggregate` — grouping and statistics feeding
   :mod:`repro.analysis.scaling`.
 * :mod:`repro.engine.report` — text report rendering for stores.
@@ -48,6 +54,15 @@ from repro.engine.registry import (
     ScenarioRegistry,
     ScenarioSpec,
 )
+from repro.engine.index import StoreIndex
+from repro.engine.migration import (
+    CHAIN,
+    SCHEMA_VERSION,
+    MigrationChain,
+    MigrationError,
+    MigrationStep,
+    build_chain,
+)
 from repro.engine.report import render_report
 from repro.engine.runner import SweepStats, build_instance, execute_job, run_spec, run_suite, stderr_log
 from repro.engine.store import ResultStore
@@ -76,6 +91,13 @@ __all__ = [
     "run_suite",
     "stderr_log",
     "ResultStore",
+    "StoreIndex",
+    "CHAIN",
+    "SCHEMA_VERSION",
+    "MigrationChain",
+    "MigrationError",
+    "MigrationStep",
+    "build_chain",
     "SUITES",
     "SuiteRegistry",
     "SuiteSpec",

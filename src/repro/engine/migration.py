@@ -1,0 +1,197 @@
+"""Declarative schema migration for stored result rows.
+
+Every row the :class:`~repro.engine.store.ResultStore` reads back is
+normalized to the current schema in memory by an ordered chain of
+:class:`MigrationStep` objects — one step per version bump, each a
+plain ``row -> row`` function. The chain replaces the hand-rolled
+``setdefault`` pile that used to live inside the store: a new schema
+axis is one registered step, not another conditional scattered across
+store code.
+
+Design rules the chain enforces (at registration time, not read time):
+
+* **Gapless**: step *i* migrates exactly ``v_i -> v_i + 1``; the chain
+  must cover every version from :data:`BASE_VERSION` up to the target
+  (:data:`SCHEMA_VERSION` for the production chain in :data:`CHAIN`).
+  A hole or an out-of-order registration raises :class:`MigrationError`
+  immediately, so a half-wired chain can never ship.
+* **In-memory only**: migration never rewrites the file. Rows keep the
+  ``schema`` stamp they were written with (``repro store migrate`` is
+  the explicit opt-in rewrite); steps fill the fields their version
+  introduced with the historical defaults, so old rows keep their
+  cache keys — default-valued jobs hash identically (see
+  :meth:`repro.engine.jobs.Job.identity`).
+* **Idempotent**: every step uses ``setdefault`` semantics, so
+  migrating an already-current row is a no-op and re-migrating is safe
+  (pinned by ``tests/test_store_properties.py``).
+
+Version history (the steps below are the executable form of this):
+
+* **v1** no network condition.
+* **v2** rows carry ``network`` (canonical spec dict) and
+  ``network_model`` (model name, the grouping field).
+* **v3** rows additionally carry ``backend`` (canonical spec dict) and
+  ``backend_name`` (engine name, the grouping field).
+* **v4** rows carry ``placement`` (terminal-placement strategy name).
+* **v5** profiled jobs carry a ``profile`` field (per-phase rounds /
+  messages / bits / wall-time,
+  :meth:`repro.perf.PhaseProfiler.to_dict`); unprofiled records simply
+  lack it, so the step is a no-op.
+"""
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+#: The current result-row schema. Bumping it requires registering the
+#: matching :class:`MigrationStep` below — :func:`build_chain` raises at
+#: import time otherwise.
+SCHEMA_VERSION = 5
+
+#: Rows written before the ``schema`` stamp existed are treated as v1.
+BASE_VERSION = 1
+
+_RELIABLE = {"model": "reliable", "params": {}}
+_REFERENCE = {"name": "reference", "params": {}}
+
+
+class MigrationError(ValueError):
+    """A migration chain is mis-registered (gap, overlap, wrong target)."""
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One version bump: ``fn`` normalizes a ``from_version`` row to
+    ``to_version`` shape, mutating and returning the row.
+
+    Steps must be *idempotent* (``setdefault`` semantics): the chain
+    applies every step at or above a row's declared version, so a step
+    may see rows that already carry its fields (hand-merged stores,
+    rows appended without a stamp).
+    """
+
+    from_version: int
+    to_version: int
+    fn: Callable[[Dict[str, Any]], Dict[str, Any]]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.to_version != self.from_version + 1:
+            raise MigrationError(
+                f"step {self.from_version}->{self.to_version} skips versions; "
+                "each step must bump by exactly one"
+            )
+
+
+@dataclass
+class MigrationChain:
+    """An ordered, gapless ``base -> head`` chain of steps.
+
+    ``add`` validates contiguity at registration time; ``validate``
+    checks the chain reaches an exact target version; ``migrate``
+    applies the suffix of steps a row still needs.
+    """
+
+    base_version: int = BASE_VERSION
+    steps: List[MigrationStep] = field(default_factory=list)
+
+    @property
+    def head(self) -> int:
+        """The version the chain currently migrates up to."""
+        return self.steps[-1].to_version if self.steps else self.base_version
+
+    def add(self, step: MigrationStep) -> "MigrationChain":
+        """Register the next step; it must start exactly at :attr:`head`."""
+        if step.from_version != self.head:
+            raise MigrationError(
+                f"step {step.from_version}->{step.to_version} does not extend "
+                f"the chain (head is v{self.head}); chains must be gapless"
+            )
+        self.steps.append(step)
+        return self
+
+    def step(
+        self, from_version: int, to_version: int, description: str = ""
+    ) -> Callable[[Callable[[Dict[str, Any]], Dict[str, Any]]], Callable]:
+        """Decorator form of :meth:`add` (the registration idiom below)."""
+
+        def register(fn: Callable[[Dict[str, Any]], Dict[str, Any]]):
+            self.add(MigrationStep(from_version, to_version, fn, description))
+            return fn
+
+        return register
+
+    def validate(self, target: int) -> "MigrationChain":
+        """Assert the chain covers exactly ``base -> target``."""
+        if self.head != target:
+            raise MigrationError(
+                f"migration chain stops at v{self.head}, schema is at "
+                f"v{target}; register the missing step(s)"
+            )
+        return self
+
+    def row_version(self, row: Dict[str, Any]) -> int:
+        """The schema version a stored row claims (unstamped rows are
+        pre-stamp history: :data:`BASE_VERSION`)."""
+        try:
+            version = int(row.get("schema", self.base_version))
+        except (TypeError, ValueError):
+            return self.base_version
+        return max(version, self.base_version)
+
+    def migrate(self, row: Dict[str, Any]) -> Dict[str, Any]:
+        """Normalize ``row`` to the chain's head version, in memory.
+
+        Applies every step at or above the row's declared version (so a
+        mis-stamped row still normalizes — steps are idempotent). The
+        ``schema`` field is left exactly as stored: migration describes
+        how to *read* history, not permission to rewrite it.
+        """
+        version = self.row_version(row)
+        for step in self.steps:
+            if step.from_version >= version:
+                row = step.fn(row)
+        return row
+
+
+def build_chain() -> MigrationChain:
+    """The production chain, freshly built (tests extend copies of it).
+
+    Returns a validated ``v1 -> SCHEMA_VERSION`` chain. Registering a
+    v6 axis means adding one ``@chain.step(5, 6)`` function here and
+    bumping :data:`SCHEMA_VERSION` — nothing in the store changes.
+    """
+    chain = MigrationChain()
+
+    @chain.step(1, 2, "network condition axis (network / network_model)")
+    def _v1_to_v2(row: Dict[str, Any]) -> Dict[str, Any]:
+        if "network" not in row:
+            row["network"] = dict(_RELIABLE, params={})
+        if "network_model" not in row:
+            row["network_model"] = row["network"].get("model", "reliable")
+        return row
+
+    @chain.step(2, 3, "execution backend axis (backend / backend_name)")
+    def _v2_to_v3(row: Dict[str, Any]) -> Dict[str, Any]:
+        if "backend" not in row:
+            row["backend"] = dict(_REFERENCE, params={})
+        if "backend_name" not in row:
+            row["backend_name"] = row["backend"].get("name", "reference")
+        return row
+
+    @chain.step(3, 4, "terminal-placement axis (placement)")
+    def _v3_to_v4(row: Dict[str, Any]) -> Dict[str, Any]:
+        if "placement" not in row:
+            row["placement"] = "uniform"
+        return row
+
+    @chain.step(4, 5, "optional per-phase profile payload (no defaults)")
+    def _v4_to_v5(row: Dict[str, Any]) -> Dict[str, Any]:
+        # Unprofiled rows simply lack the field; nothing to fill.
+        return row
+
+    return chain.validate(SCHEMA_VERSION)
+
+
+#: The chain every store read goes through. Import-time validation: a
+#: SCHEMA_VERSION bump without its step fails here, not in production.
+CHAIN = build_chain()

@@ -377,6 +377,9 @@ def run_spec(
     and never participates: detached runs are byte-identical.
     """
     jobs = expand_jobs(spec)
+    if store is not None and telemetry is not None:
+        # Store-level lookup/index counters land on the sweep's registry.
+        store.bind_metrics(telemetry.metrics)
     cached_keys = store.keys() if store is not None else set()
     pending = [job for job in jobs if job.key not in cached_keys]
     hits = len(jobs) - len(pending)

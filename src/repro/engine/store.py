@@ -1,92 +1,189 @@
 """Append-only JSONL result store with content-hash caching.
 
 One line per job record. The ``key`` field is the job's content hash
-(:attr:`repro.engine.jobs.Job.key`); the runner consults :meth:`keys` before
-executing, so re-running an unchanged spec touches the store only to read.
-JSONL keeps the store greppable, mergeable (concatenation), and safely
-appendable without rewriting history.
+(:attr:`repro.engine.jobs.Job.key`); the runner consults :meth:`keys`
+before executing, so re-running an unchanged spec touches the store
+only to read. JSONL keeps the store greppable, mergeable
+(concatenation), and safely appendable without rewriting history.
 
-A :class:`ResultStore` instance caches the parsed file in memory after the
-first read and keeps the cache in sync with its own appends, so repeated
-``keys()`` / ``select()`` / ``len()`` calls (one per spec in a suite run)
-parse the file once rather than once per call. Writers in *other* processes
-are not observed after the first read — construct a fresh instance to
-re-read the file.
+Two companions keep the flat file honest at scale:
+
+* **Schema migration** (:mod:`repro.engine.migration`): every row read
+  back is normalized to the current schema by the declarative
+  :data:`~repro.engine.migration.CHAIN` — one registered
+  :class:`~repro.engine.migration.MigrationStep` per version bump,
+  validated gapless at import time. Old rows keep their cache keys
+  (default-valued jobs hash identically), so old stores keep absorbing
+  re-runs.
+* **Sidecar index** (:mod:`repro.engine.index`): a sqlite file next to
+  the store maps cache key → byte offset, making :meth:`keys`,
+  :meth:`lookup` and key-only :meth:`select` O(log n) probes plus
+  seek-reads instead of full-file scans. The index is disposable and
+  self-healing — growth is absorbed incrementally, and a rewrite of
+  the file (detected by content fingerprint) triggers a rebuild. Pass
+  ``index=False`` to force pure scans (the index-vs-scan equivalence
+  is pinned by ``tests/test_store_properties.py``).
+
+Reads stream: :meth:`records` parses the file lazily and never
+materializes it, and a torn tail left by a concurrent writer is simply
+not yet visible. Writers in other processes become visible on the next
+read that syncs the index — call :meth:`refresh` to force a
+full-fingerprint re-check (the serve daemon does, see
+``SolverService.refresh_store``).
 """
 
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-try:  # POSIX advisory locks; absent on some platforms (see _locked_fd).
+try:  # POSIX advisory locks; absent on some platforms (see append()).
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None
 
-#: v1: no network condition. v2: records carry ``network`` (canonical
-#: spec dict) and ``network_model`` (model name, the grouping field).
-#: v3: records additionally carry ``backend`` (canonical spec dict) and
-#: ``backend_name`` (engine name, the grouping field). v4: records
-#: carry ``placement`` (terminal-placement strategy name). v5: profiled
-#: jobs carry a ``profile`` field (per-phase rounds / messages / bits /
-#: wall-time, :meth:`repro.perf.PhaseProfiler.to_dict`); unprofiled
-#: records simply lack it, so no upgrade step is needed. Old rows read
-#: back with the defaults filled in — v1 as the clean ``reliable``
-#: channel, v1/v2 as the ``reference`` engine, v1–v3 as ``uniform``
-#: placement, v1–v4 as unprofiled — and their cache keys are unchanged
-#: (default-valued jobs hash identically), so old stores keep absorbing
-#: re-runs.
-SCHEMA_VERSION = 5
-
-_RELIABLE = {"model": "reliable", "params": {}}
-_REFERENCE = {"name": "reference", "params": {}}
-
-
-def _upgrade(row: Dict[str, Any]) -> Dict[str, Any]:
-    """Normalize a stored row to the current schema in memory."""
-    if "network" not in row:
-        row["network"] = dict(_RELIABLE, params={})
-    if "network_model" not in row:
-        row["network_model"] = row["network"].get("model", "reliable")
-    if "backend" not in row:
-        row["backend"] = dict(_REFERENCE, params={})
-    if "backend_name" not in row:
-        row["backend_name"] = row["backend"].get("name", "reference")
-    if "placement" not in row:
-        row["placement"] = "uniform"
-    return row
+from repro.engine.index import (
+    IndexUnavailableError,
+    StoreIndex,
+    complete_region_end,
+    scan_rows,
+)
+from repro.engine.migration import CHAIN, SCHEMA_VERSION  # noqa: F401 (re-export)
 
 
 class ResultStore:
-    """A persistent store of job records at ``path`` (created on demand)."""
+    """A persistent store of job records at ``path`` (created on demand).
 
-    def __init__(self, path: os.PathLike) -> None:
-        """Open (lazily) the store at ``path``; the file may not exist yet."""
+    Args:
+        path: the JSONL file (its sidecar index lives at ``<path>.idx``).
+        index: maintain/use the sidecar index (default). With ``False``
+            every read is a linear scan — correct, just O(n).
+        metrics: optional :class:`~repro.telemetry.MetricsRegistry`;
+            lookup and index-maintenance counters land there.
+    """
+
+    def __init__(
+        self,
+        path: os.PathLike,
+        index: bool = True,
+        metrics: Optional[Any] = None,
+    ) -> None:
         self.path = Path(path)
-        self._cache: Optional[List[Dict[str, Any]]] = None
+        self.metrics = metrics
+        self._use_index = index
+        self._index: Optional[StoreIndex] = None
+
+    # -- plumbing --------------------------------------------------------
+
+    def bind_metrics(self, metrics: Any) -> None:
+        """Attach a metrics registry after construction (the daemon's)."""
+        self.metrics = metrics
+        if self._index is not None:
+            self._index.metrics = metrics
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None and amount:
+            self.metrics.counter(name).inc(amount)
+
+    def _idx(self, verify: bool = False) -> Optional[StoreIndex]:
+        """The synced sidecar index, or ``None`` when disabled/broken.
+
+        The first contact always verifies the content fingerprint (a
+        stale sidecar from a rewritten file must not survive); later
+        syncs use the cheap size probe unless ``verify`` forces it.
+        """
+        if not self._use_index:
+            return None
+        try:
+            if self._index is None:
+                self._index = StoreIndex(self.path, metrics=self.metrics)
+                verify = True
+            self._index.sync(verify=verify)
+            return self._index
+        except IndexUnavailableError:
+            # Sidecar unwritable/locked-out: degrade to scans for this
+            # instance rather than failing reads of a healthy store.
+            self._count("engine.store.index.unavailable")
+            if self._index is not None:
+                self._index.close()
+                self._index = None
+            self._use_index = False
+            return None
+
+    def refresh(self) -> None:
+        """Observe other-process writers *now*.
+
+        Streaming reads are always current, but the sidecar's cheap
+        staleness probe only watches file size; ``refresh`` forces a
+        full fingerprint verification (and rebuild if the file was
+        rewritten rather than appended). Long-lived readers — the
+        serve daemon's hot map, a watch loop — call this on their
+        refresh cadence.
+        """
+        self._idx(verify=True)
 
     # -- reading ---------------------------------------------------------
 
-    def _load(self) -> List[Dict[str, Any]]:
-        if self._cache is None:
-            rows: List[Dict[str, Any]] = []
-            if self.path.exists():
-                with self.path.open("r", encoding="utf-8") as handle:
-                    for line in handle:
-                        line = line.strip()
-                        if line:
-                            rows.append(_upgrade(json.loads(line)))
-            self._cache = rows
-        return self._cache
+    def scan(self, start: int = 0) -> Iterator[Tuple[int, int, Dict[str, Any]]]:
+        """Stream ``(offset, length, migrated_row)`` from byte ``start``.
 
-    def records(self) -> Iterator[Dict[str, Any]]:
-        """Yield every stored record."""
-        yield from self._load()
+        The offsets let incremental consumers (the daemon's hot map)
+        resume exactly where they left off; a torn tail from a
+        concurrent writer is not yielded.
+        """
+        for offset, length, row in scan_rows(self.path, start):
+            yield offset, length, CHAIN.migrate(row)
+
+    def records(self, start: int = 0) -> Iterator[Dict[str, Any]]:
+        """Yield every stored record (streaming; nothing materialized)."""
+        for _, _, row in self.scan(start):
+            yield row
+
+    def tail_offset(self) -> int:
+        """Byte offset just past the last complete row (resume cursor)."""
+        index = self._idx()
+        if index is not None:
+            return index.indexed_bytes()
+        return complete_region_end(self.path)
 
     def keys(self) -> Set[str]:
         """The cache keys of every stored record."""
-        return {record["key"] for record in self._load()}
+        index = self._idx()
+        if index is not None:
+            return index.keys()
+        return {record["key"] for record in self.records()}
+
+    def lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        """The first stored record for ``key``, or ``None``.
+
+        Indexed: one B-tree probe plus one seek-read. Unindexed: a
+        linear scan with early exit.
+        """
+        index = self._idx()
+        if index is not None:
+            span = index.lookup(key)
+            if span is None:
+                return None
+            self._count("engine.store.lookup.indexed")
+            return self._read_spans([span])[0]
+        self._count("engine.store.lookup.scan")
+        for record in self.records():
+            if record.get("key") == key:
+                return record
+        return None
+
+    def _read_spans(
+        self, spans: List[Tuple[int, int]]
+    ) -> List[Dict[str, Any]]:
+        """Seek-read rows at ``(offset, length)`` spans (file order)."""
+        out = []
+        with self.path.open("rb") as handle:
+            for offset, length in spans:
+                handle.seek(offset)
+                out.append(
+                    CHAIN.migrate(json.loads(handle.read(length)))
+                )
+        return out
 
     def select(
         self,
@@ -97,10 +194,35 @@ class ResultStore:
         placement: Optional[str] = None,
     ) -> List[Dict[str, Any]]:
         """Records filtered by scenario, network model name, backend
-        engine name, placement strategy, and/or an explicit key set."""
+        engine name, placement strategy, and/or an explicit key set.
+
+        A *key-only* select (no other filter) returns the first stored
+        record per requested key, in file order — served by the index
+        as seek-reads when available. Filtered selects stream-scan the
+        file and return every matching row.
+        """
         wanted = set(keys) if keys is not None else None
+        key_only = wanted is not None and all(
+            value is None for value in (scenario, network, backend, placement)
+        )
+        if key_only:
+            index = self._idx()
+            if index is not None:
+                self._count("engine.store.lookup.indexed", len(wanted))
+                return self._read_spans(index.lookup_many(sorted(wanted)))
+            # Scan fallback with identical first-occurrence semantics.
+            self._count("engine.store.lookup.scan", len(wanted))
+            out = []
+            remaining = set(wanted)
+            for record in self.records():
+                if record.get("key") in remaining:
+                    remaining.discard(record["key"])
+                    out.append(record)
+                    if not remaining:
+                        break
+            return out
         out = []
-        for record in self._load():
+        for record in self.records():
             if scenario is not None and record.get("scenario") != scenario:
                 continue
             if network is not None and record.get("network_model") != network:
@@ -115,15 +237,19 @@ class ResultStore:
         return out
 
     def __len__(self) -> int:
-        return len(self._load())
+        index = self._idx()
+        if index is not None:
+            return index.row_count()
+        return sum(1 for _ in self.records())
 
     # -- writing ---------------------------------------------------------
 
     def append(self, records: Iterable[Dict[str, Any]]) -> int:
         """Append records (stamped with the schema version); returns count.
 
-        Input dicts are not mutated; the stamped copies land in the file
-        and the in-memory cache.
+        Input dicts are not mutated; the stamped copies land in the
+        file, and an already-materialized sidecar index absorbs them
+        incrementally (a lazy index simply catches up on first read).
 
         Concurrent-writer safe: the whole batch is serialized to one
         buffer and written through an ``O_APPEND`` descriptor under an
@@ -133,7 +259,7 @@ class ResultStore:
         """
         rows = []
         for record in records:
-            row = _upgrade(dict(record))
+            row = CHAIN.migrate(dict(record))
             row.setdefault("schema", SCHEMA_VERSION)
             rows.append(row)
         if not rows:
@@ -160,8 +286,14 @@ class ResultStore:
                     fcntl.flock(fd, fcntl.LOCK_UN)
         finally:
             os.close(fd)
-        if self._cache is not None:
-            self._cache.extend(rows)
+        if self._index is not None and self._use_index:
+            try:
+                self._index.sync()
+            except IndexUnavailableError:
+                self._count("engine.store.index.unavailable")
+                self._index.close()
+                self._index = None
+                self._use_index = False
         return len(rows)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

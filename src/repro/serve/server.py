@@ -77,11 +77,13 @@ class ServeServer:
         burst: float = DEFAULT_BURST,
         clock=time.monotonic,
         name: str = "repro-serve",
+        store_refresh: float = 0.0,
     ) -> None:
         self.service = service
         self.rate = rate
         self.burst = burst
         self.name = name
+        self.store_refresh = store_refresh
         self._clock = clock
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections = 0
@@ -103,11 +105,35 @@ class ServeServer:
         )
 
     async def serve_until(self, stop: asyncio.Event) -> None:
-        """Serve until ``stop`` is set, then shut down gracefully."""
-        async with self._server:
-            await self._server.start_serving()
-            await stop.wait()
-            await self.shutdown()
+        """Serve until ``stop`` is set, then shut down gracefully.
+
+        With ``store_refresh > 0`` a background task calls
+        :meth:`SolverService.refresh_store` on that cadence, so rows
+        appended to the shared store by other processes (CLI sweeps,
+        sibling daemons) become cache hits without a restart.
+        """
+        refresher: Optional[asyncio.Task] = None
+        if self.store_refresh > 0 and self.service.store is not None:
+            refresher = asyncio.create_task(
+                self._store_refresh_loop(self.store_refresh)
+            )
+        try:
+            async with self._server:
+                await self._server.start_serving()
+                await stop.wait()
+                await self.shutdown()
+        finally:
+            if refresher is not None:
+                refresher.cancel()
+                try:
+                    await refresher
+                except asyncio.CancelledError:
+                    pass
+
+    async def _store_refresh_loop(self, interval: float) -> None:
+        while True:
+            await asyncio.sleep(interval)
+            self.service.refresh_store()
 
     async def shutdown(self) -> None:
         """Graceful shutdown: stop accepting, drain running jobs."""

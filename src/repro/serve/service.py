@@ -192,6 +192,7 @@ class SolverService:
         self._inflight: Dict[str, asyncio.Future] = {}
         self._pending = 0
         self._hot: Dict[str, Dict[str, Any]] = {}
+        self._store_offset = 0
         self._draining = False
         self._idle: Optional[asyncio.Event] = None
 
@@ -204,8 +205,8 @@ class SolverService:
         self._idle = asyncio.Event()
         self._idle.set()
         if self.store is not None:
-            for record in self.store.records():
-                self._hot[record["key"]] = record
+            self.store.bind_metrics(self.metrics)
+            self._absorb_store_rows()
         self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
         loop = asyncio.get_running_loop()
         # Pay worker startup now, not on the first request.
@@ -240,6 +241,48 @@ class SolverService:
     @property
     def draining(self) -> bool:
         return self._draining
+
+    # -- store refresh ---------------------------------------------------
+
+    def _absorb_store_rows(self) -> int:
+        """Stream rows past the hot-map watermark into the hot map.
+
+        The store's streaming :meth:`~repro.engine.store.ResultStore.scan`
+        yields byte offsets, so startup and every later refresh parse
+        only bytes the hot map has not seen — never the whole file
+        twice. Rows the daemon computed itself come back here too (it
+        appends them); ``setdefault`` keeps the in-memory original.
+        """
+        added = 0
+        for offset, length, record in self.store.scan(self._store_offset):
+            self._hot.setdefault(record["key"], record)
+            self._store_offset = offset + length
+            added += 1
+        return added
+
+    def refresh_store(self) -> int:
+        """Pick up rows appended by *other* processes; returns how many.
+
+        A CLI sweep appending to the daemon's store becomes visible —
+        and therefore a cache hit — after this runs (pinned by
+        ``tests/test_serve.py``). Wired to a cadence via ``repro serve
+        --store-refresh SECONDS``. If the store file was rewritten
+        rather than appended (offline ``repro store migrate``), the
+        watermark resets and the hot map re-absorbs from byte 0.
+        """
+        if self.store is None:
+            return 0
+        self.store.refresh()
+        if self.store.tail_offset() < self._store_offset:
+            self._store_offset = 0
+        added = self._absorb_store_rows()
+        if added:
+            self.metrics.counter("serve.store.rows_refreshed").inc(added)
+            self._emit(
+                None, "store_refresh",
+                rows=added, cached_keys=len(self._hot),
+            )
+        return added
 
     # -- request resolution ----------------------------------------------
 

@@ -3,9 +3,9 @@
 Re-runs a pinned subset of the committed benchmark trajectory —
 ``BENCH_profile.json`` (the distributed Steiner-forest pipeline per
 ledger engine), ``BENCH_backends.json`` (FloodMax per simulation
-backend), ``BENCH_serve.json`` (daemon load), and
-``BENCH_observe.json`` (observability overhead) — and compares against
-the committed entries:
+backend), ``BENCH_serve.json`` (daemon load), ``BENCH_observe.json``
+(observability overhead), and ``BENCH_store.json`` (indexed vs
+full-scan store lookup) — and compares against the committed entries:
 
 * **logical metrics** (rounds, messages, solution weight) must match
   the committed values *exactly*: they are deterministic, so any drift
@@ -93,7 +93,9 @@ def _compare(
     tolerance: float,
 ) -> CheckRow:
     mismatches = []
-    for column in ("rounds", "messages", "weight", "requests", "hits"):
+    for column in (
+        "rounds", "messages", "weight", "requests", "hits", "rows", "lookups",
+    ):
         if column not in committed:
             continue
         if measured[column] != committed[column]:
@@ -196,12 +198,31 @@ def _measure_observe(workload: Dict[str, Any], n: int, backend: str) -> Dict[str
     }
 
 
+def _measure_store(workload: Dict[str, Any], n: int, backend: str) -> Dict[str, Any]:
+    """One BENCH_store-style entry, re-measured (same synthetic store
+    and lookup mix as ``benchmarks/bench_e21_store.py``): ``backend``
+    is the lookup mode (``scan`` or ``indexed``), ``n`` the store's row
+    count. Row and lookup counts are deterministic by construction, so
+    the gate compares them exactly."""
+    from repro.engine.storebench import DEFAULT_LOOKUPS, measure_mode
+
+    entry = measure_mode(
+        n, backend, lookups=int(workload.get("lookups", DEFAULT_LOOKUPS))
+    )
+    return {
+        "seconds": entry["seconds"],
+        "rows": entry["rows"],
+        "lookups": entry["lookups"],
+    }
+
+
 #: Per-bench re-measurement drivers, keyed by the JSON's ``experiment``.
 _DRIVERS = {
     "e18-profile": _measure_pipeline,
     "e16-backends": _measure_floodmax,
     "e19-serve": _measure_serve,
     "e20-observe": _measure_observe,
+    "e21-store": _measure_store,
 }
 
 

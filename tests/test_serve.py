@@ -534,3 +534,73 @@ def test_client_transport_error_when_no_daemon(tmp_path):
     with pytest.raises(ServeClientError) as err:
         ServeClient(socket_path=str(tmp_path / "nothing.sock")).connect()
     assert err.value.code == "transport"
+
+
+def test_out_of_band_store_append_visible_after_refresh(tmp_path):
+    """Regression for the stale-hot-map footgun: a row appended to the
+    store by another process (e.g. ``repro sweep`` from the CLI) was
+    invisible to a running daemon forever. ``refresh_store()`` — and
+    the ``serve --store-refresh`` loop that calls it — absorbs it into
+    the hot map, so the next submit is a cache hit, not a re-run."""
+    spec = _spec("serve-stale")
+    path = tmp_path / "store.jsonl"
+
+    async def body():
+        service = SolverService(store=ResultStore(path), max_workers=1)
+        await service.start()
+        try:
+            # Another process completes the same jobs out-of-band.
+            ResultStore(path, index=False).append(
+                [execute_job(job.to_dict()) for job in expand_jobs(spec)]
+            )
+            absorbed = service.refresh_store()
+            outcome = await service.submit(spec)
+            # Idempotent: nothing new to absorb the second time.
+            return absorbed, service.refresh_store(), outcome
+        finally:
+            await service.close(drain=False)
+
+    absorbed, again, outcome = run(body())
+    assert absorbed == len(expand_jobs(spec))
+    assert again == 0
+    assert outcome.cached == len(expand_jobs(spec))
+    assert outcome.executed == 0
+
+
+def test_store_refresh_loop_absorbs_while_serving(tmp_path):
+    """The ``serve --store-refresh SECONDS`` wiring end-to-end: with a
+    live server and a fast refresh interval, an out-of-band append
+    becomes a cache hit with no explicit refresh call."""
+    spec_dict = single_job_spec("serve-loop-stale")
+    spec = ScenarioSpec.from_dict(spec_dict)
+    path = tmp_path / "store.jsonl"
+
+    async def body():
+        service = SolverService(store=ResultStore(path), max_workers=1)
+        await service.start()
+        server = ServeServer(service, store_refresh=0.05)
+        await server.start_unix(str(tmp_path / "d.sock"))
+        stop = asyncio.Event()
+        task = asyncio.create_task(server.serve_until(stop))
+        try:
+            await asyncio.sleep(0)  # let the refresh loop spin up
+            ResultStore(path, index=False).append(
+                [execute_job(job.to_dict()) for job in expand_jobs(spec)]
+            )
+            for _ in range(100):  # ~5s budget for a 50ms interval
+                if spec_jobs_cached(service, spec):
+                    break
+                await asyncio.sleep(0.05)
+            outcome = await service.submit(spec)
+            return outcome
+        finally:
+            stop.set()
+            await task
+            await service.close(drain=False)
+
+    def spec_jobs_cached(service, spec):
+        return all(job.key in service._hot for job in expand_jobs(spec))
+
+    outcome = run(body())
+    assert outcome.cached == len(expand_jobs(spec))
+    assert outcome.executed == 0

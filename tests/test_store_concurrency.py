@@ -1,15 +1,22 @@
-"""Concurrent-writer safety of :class:`ResultStore` JSONL appends.
+"""Concurrent-writer safety of :class:`ResultStore` JSONL appends —
+and of the sidecar index reading underneath them.
 
 Two real writer processes hammer one store file through the locked
 append path (``flock`` + single ``O_APPEND`` write in
 :meth:`ResultStore.append`). Torn or interleaved writes would surface
 as unparseable lines or a wrong row count — exactly what the daemon's
 multi-process smoke relies on never happening.
+
+The index half: a reader syncing :class:`StoreIndex` mid-hammer must
+always observe a **consistent prefix** (every indexed key's seek-read
+parses to a whole row), and an index left stale by out-of-band appends
+or a file rewrite must detect and heal itself on the next access.
 """
 
 import json
 import multiprocessing
 
+from repro.engine.index import StoreIndex, scan_rows
 from repro.engine.store import ResultStore
 
 WRITERS = 2
@@ -58,3 +65,132 @@ def test_two_writer_processes_never_tear_rows(tmp_path):
         assert all(key.rsplit("-", 1)[0] == prefix for key in batch)
     # And the store reads its own concurrent output back cleanly.
     assert len(ResultStore(path)) == expected
+
+
+def _indexing_reader(path, stop, failures):
+    """Repeatedly sync the sidecar against the growing file and verify
+    every answer is a consistent prefix: row counts never regress and a
+    sampled indexed key seek-reads to a whole, parseable row."""
+    index = StoreIndex(path)
+    last_rows = 0
+    try:
+        while not stop.is_set():
+            index.sync()
+            status = index.status()
+            if status["rows"] < last_rows:
+                failures.put(f"rows regressed {last_rows} -> {status['rows']}")
+                return
+            last_rows = status["rows"]
+            for key in list(index.keys())[:5]:
+                span = index.lookup(key)
+                if span is None:
+                    failures.put(f"indexed key {key!r} vanished")
+                    return
+                offset, length = span
+                with open(path, "rb") as handle:
+                    handle.seek(offset)
+                    blob = handle.read(length)
+                row = json.loads(blob)  # whole row, never a torn span
+                if row["key"] != key:
+                    failures.put(f"seek-read for {key!r} hit {row['key']!r}")
+                    return
+    except Exception as error:  # noqa: BLE001 - reported to the parent
+        failures.put(f"{type(error).__name__}: {error}")
+
+
+def test_index_reader_sees_consistent_prefix_under_two_writers(tmp_path):
+    path = tmp_path / "store.jsonl"
+    path.touch()
+    barrier = multiprocessing.Barrier(WRITERS)
+    stop = multiprocessing.Event()
+    failures = multiprocessing.Queue()
+    writers = [
+        multiprocessing.Process(target=_writer, args=(str(path), f"w{i}", barrier))
+        for i in range(WRITERS)
+    ]
+    reader = multiprocessing.Process(
+        target=_indexing_reader, args=(str(path), stop, failures)
+    )
+    reader.start()
+    for process in writers:
+        process.start()
+    for process in writers:
+        process.join(120)
+        assert process.exitcode == 0
+    stop.set()
+    reader.join(120)
+    assert reader.exitcode == 0
+    assert failures.empty(), failures.get()
+    # After the dust settles one sync absorbs everything the writers
+    # appended; the reader's incremental syncs and this full one agree.
+    expected = WRITERS * BATCHES * ROWS_PER_BATCH
+    index = StoreIndex(path)
+    index.sync()
+    assert index.status()["rows"] == expected
+    assert index.row_count() == expected
+
+
+def test_out_of_band_append_is_detected_and_absorbed(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.append([{"key": f"seed-{i}", "scenario": "stale"} for i in range(4)])
+    assert len(store.keys()) == 4  # sidecar materialized
+
+    # Another process appends without telling our index.
+    other = ResultStore(path, index=False)
+    other.append([{"key": f"late-{i}", "scenario": "stale"} for i in range(3)])
+
+    # The cheap size probe notices the growth on the next access.
+    assert len(store.keys()) == 7
+    assert store.lookup("late-2") is not None
+    # refresh() is the explicit, fingerprint-verified variant.
+    store.refresh()
+    assert len(store) == 7
+
+
+def test_rewritten_file_triggers_full_rebuild(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.append([{"key": f"old-{i}", "scenario": "rewrite"} for i in range(6)])
+    store.keys()
+    assert StoreIndex(path).status()["state"] == "fresh"
+
+    # Out-of-band rewrite padded to the exact original byte count:
+    # the cheap size probe can't see it, the content fingerprint can.
+    original_size = path.stat().st_size
+    bare = [
+        {"key": f"new-{i}", "scenario": "rewrite", "schema": 5}
+        for i in range(6)
+    ]
+    body = "".join(json.dumps(row, sort_keys=True) + "\n" for row in bare)
+    pad = original_size - len(body.encode("utf-8"))
+    overhead = len(json.dumps({"key": "pad", "pad": ""})) + 1  # + newline
+    assert pad > overhead, "store rows shrank; re-shape this test"
+    body += json.dumps({"key": "pad", "pad": "x" * (pad - overhead)}) + "\n"
+    path.write_text(body, encoding="utf-8")
+    assert path.stat().st_size == original_size
+
+    store.refresh()
+    assert set(store.keys()) == {f"new-{i}" for i in range(6)} | {"pad"}
+    assert store.lookup("old-0") is None
+    assert StoreIndex(path).status()["rows"] == 7
+
+
+def test_torn_tail_is_invisible_until_completed(tmp_path):
+    """A half-written final line (writer died mid-append) is never
+    indexed or yielded; finishing the line makes it appear."""
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.append([{"key": "whole", "scenario": "torn"}])
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('{"key": "torn-row", "scenario": "to')  # no newline
+
+    store.refresh()
+    assert set(store.keys()) == {"whole"}
+    assert [row["key"] for _, _, row in scan_rows(path)] == ["whole"]
+
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write('rn"}\n')
+    store.refresh()
+    assert set(store.keys()) == {"whole", "torn-row"}
+    assert store.lookup("torn-row")["scenario"] == "torn"

@@ -1,0 +1,192 @@
+"""Golden-fixture pins for the store's schema-migration chain.
+
+``tests/fixtures/store_v1.jsonl`` … ``store_v5.jsonl`` are hand-shaped
+historical stores — rows exactly as each schema era wrote them, with
+real content-hash cache keys. They pin three invariants:
+
+* the declarative chain (:data:`repro.engine.migration.CHAIN`)
+  normalizes every historical row **byte-for-byte identically** to the
+  legacy hand-rolled ``_upgrade`` (frozen below as
+  :func:`legacy_upgrade`) it replaced;
+* **cache keys are append-only**: rebuilding a
+  :class:`~repro.engine.jobs.Job` from any v1–v5 row re-derives the
+  row's stored key, so every historical store keeps absorbing re-runs;
+* extending the schema (a hypothetical v6 axis) requires exactly one
+  registered :class:`~repro.engine.migration.MigrationStep` — and a
+  mis-registered chain (gap, overlap, missing head) fails at
+  registration time, not at read time.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.engine.jobs import Job, canonical_json
+from repro.engine.migration import (
+    CHAIN,
+    SCHEMA_VERSION,
+    MigrationChain,
+    MigrationError,
+    MigrationStep,
+    build_chain,
+)
+from repro.engine.store import ResultStore
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+VERSIONS = list(range(1, SCHEMA_VERSION + 1))
+
+_RELIABLE = {"model": "reliable", "params": {}}
+_REFERENCE = {"name": "reference", "params": {}}
+
+
+def legacy_upgrade(row):
+    """The hand-rolled per-version normalizer the chain replaced,
+    frozen verbatim (src/repro/engine/store.py before PR 9): the
+    golden reference the chain must reproduce byte-for-byte."""
+    if "network" not in row:
+        row["network"] = dict(_RELIABLE, params={})
+    if "network_model" not in row:
+        row["network_model"] = row["network"].get("model", "reliable")
+    if "backend" not in row:
+        row["backend"] = dict(_REFERENCE, params={})
+    if "backend_name" not in row:
+        row["backend_name"] = row["backend"].get("name", "reference")
+    if "placement" not in row:
+        row["placement"] = "uniform"
+    return row
+
+
+def fixture_rows(version):
+    path = FIXTURES / f"store_v{version}.jsonl"
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_fixture_exists_and_declares_its_version(version):
+    rows = fixture_rows(version)
+    assert rows, f"store_v{version}.jsonl is empty"
+    assert all(row["schema"] == version for row in rows)
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_chain_normalizes_byte_identically_to_legacy_upgrade(version):
+    for raw in fixture_rows(version):
+        chain_row = CHAIN.migrate(json.loads(json.dumps(raw)))
+        legacy_row = legacy_upgrade(json.loads(json.dumps(raw)))
+        assert canonical_json(chain_row) == canonical_json(legacy_row)
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_store_reads_normalize_every_era(version):
+    store = ResultStore(FIXTURES / f"store_v{version}.jsonl", index=False)
+    for row in store.records():
+        assert row["network"]["model"] == row["network_model"]
+        assert row["backend"]["name"] == row["backend_name"]
+        assert row["placement"] in {"uniform", "clustered"}
+        assert row["schema"] == version  # migration reads, never restamps
+
+
+@pytest.mark.parametrize("version", VERSIONS)
+def test_cache_keys_stay_pinned(version):
+    """A Job rebuilt from any historical row re-derives its stored key:
+    the content-hash identity is append-only across all five schemas."""
+    for row in fixture_rows(version):
+        assert Job.from_dict(row).key == row["key"], (
+            f"v{version} row {row['scenario']!r} no longer hashes to its "
+            "stored cache key — historical stores would cold-start"
+        )
+
+
+def test_chain_is_gapless_to_current_schema():
+    assert CHAIN.head == SCHEMA_VERSION
+    covered = [(step.from_version, step.to_version) for step in CHAIN.steps]
+    assert covered == [(v, v + 1) for v in range(1, SCHEMA_VERSION)]
+
+
+def test_registration_rejects_gaps_and_overlaps():
+    chain = MigrationChain()
+    chain.add(MigrationStep(1, 2, lambda row: row))
+    with pytest.raises(MigrationError):
+        chain.add(MigrationStep(3, 4, lambda row: row))  # gap: skips v2
+    with pytest.raises(MigrationError):
+        chain.add(MigrationStep(1, 2, lambda row: row))  # overlap
+    with pytest.raises(MigrationError):
+        MigrationStep(2, 4, lambda row: row)  # multi-version jump
+    with pytest.raises(MigrationError):
+        chain.validate(SCHEMA_VERSION)  # incomplete chain
+
+
+def test_hypothetical_v6_axis_is_one_registered_step():
+    """The point of the refactor: a new schema axis is ONE step, not
+    edits scattered across store code."""
+    chain = build_chain()
+
+    @chain.step(5, 6, "hypothetical priority axis")
+    def _v5_to_v6(row):
+        if "priority" not in row:
+            row["priority"] = "normal"
+        return row
+
+    chain.validate(6)
+    for version in VERSIONS:
+        for raw in fixture_rows(version):
+            row = chain.migrate(json.loads(json.dumps(raw)))
+            assert row["priority"] == "normal"
+            assert row["network_model"]  # earlier steps still applied
+            assert Job.from_dict(row).key == raw["key"]
+    # A v6-era row keeps its own value: steps are setdefault-idempotent.
+    assert chain.migrate({"schema": 6, "priority": "high"})["priority"] == "high"
+
+
+def test_store_migrate_cli_rewrites_without_changing_keys(tmp_path, capsys):
+    """``repro store migrate`` is the explicit opt-in rewrite: every row
+    restamped at the current schema, cache keys untouched, index rebuilt."""
+    path = tmp_path / "mixed.jsonl"
+    rows = [row for version in VERSIONS for row in fixture_rows(version)]
+    path.write_text(
+        "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows),
+        encoding="utf-8",
+    )
+    before = ResultStore(path)
+    keys_before = before.keys()
+    normalized_before = {
+        row["key"]: canonical_json({**row, "schema": SCHEMA_VERSION})
+        for row in before.records()
+    }
+
+    assert main(["store", "migrate", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert f"migrated {len(rows)} rows" in out
+
+    after = ResultStore(path)
+    assert after.keys() == keys_before
+    for row in after.records():
+        assert row["schema"] == SCHEMA_VERSION
+        assert canonical_json(row) == normalized_before[row["key"]]
+    # Raw file is fully stamped too (not just the in-memory view).
+    for line in path.read_text(encoding="utf-8").splitlines():
+        assert json.loads(line)["schema"] == SCHEMA_VERSION
+
+
+def test_store_inspect_cli_reports_schema_histogram(tmp_path, capsys):
+    path = tmp_path / "mixed.jsonl"
+    rows = fixture_rows(1) + fixture_rows(5)
+    path.write_text(
+        "".join(json.dumps(row, sort_keys=True) + "\n" for row in rows),
+        encoding="utf-8",
+    )
+    assert main(["store", "inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "v1: 3" in out and "v5: 2" in out
+    assert f"{len(rows)}" in out
+
+    assert main(["store", "reindex", str(path)]) == 0
+    assert "5 keys" in capsys.readouterr().out
+
+    assert main(["store", "inspect", str(tmp_path / 'nope.jsonl')]) == 2
