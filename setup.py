@@ -14,7 +14,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
-    install_requires=["networkx", "numpy"],
-    extras_require={"test": ["pytest", "pytest-benchmark"]},
+    install_requires=["networkx"],
+    extras_require={
+        # The vectorized execution tier (repro.perf.npkernels and the
+        # "numpy" backend) — the reference path never needs it.
+        "numpy": ["numpy"],
+        "test": ["pytest", "pytest-benchmark"],
+    },
     entry_points={"console_scripts": ["repro=repro.cli:main"]},
 )

@@ -10,8 +10,6 @@ ratio summaries.
 import math
 from typing import List, NamedTuple, Sequence
 
-import numpy as np
-
 
 class PowerLawFit(NamedTuple):
     """y ≈ coefficient · x^exponent, fit in log-log space."""
@@ -33,12 +31,26 @@ def fit_power_law(
         raise ValueError("need at least two (x, y) pairs of equal length")
     if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
         raise ValueError("power-law fits need positive data")
-    log_x = np.log(np.asarray(xs, dtype=float))
-    log_y = np.log(np.asarray(ys, dtype=float))
-    slope, intercept = np.polyfit(log_x, log_y, 1)
-    predicted = slope * log_x + intercept
-    residual = float(np.sum((log_y - predicted) ** 2))
-    total = float(np.sum((log_y - np.mean(log_y)) ** 2))
+    # Closed-form degree-1 least squares in log-log space (kept pure
+    # python so the analysis helpers stay inside the dependency-free
+    # reference path; numpy is an optional extra for the perf tier).
+    log_x = [math.log(float(x)) for x in xs]
+    log_y = [math.log(float(y)) for y in ys]
+    n = len(log_x)
+    mean_x = sum(log_x) / n
+    mean_y = sum(log_y) / n
+    var_x = sum((lx - mean_x) ** 2 for lx in log_x)
+    if var_x == 0:
+        raise ValueError("power-law fits need at least two distinct x values")
+    cov_xy = sum(
+        (lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y)
+    )
+    slope = cov_xy / var_x
+    intercept = mean_y - slope * mean_x
+    residual = sum(
+        (ly - (slope * lx + intercept)) ** 2 for lx, ly in zip(log_x, log_y)
+    )
+    total = sum((ly - mean_y) ** 2 for ly in log_y)
     r_squared = 1.0 if total == 0 else 1.0 - residual / total
     return PowerLawFit(float(slope), float(math.exp(intercept)), r_squared)
 

@@ -1093,6 +1093,7 @@ def _cmd_bench(args) -> int:
                 "BENCH_serve.json",
                 "BENCH_observe.json",
                 "BENCH_store.json",
+                "BENCH_numpy.json",
             )
             if Path(name).is_file()
         ]

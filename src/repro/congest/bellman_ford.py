@@ -93,12 +93,24 @@ def bellman_ford(
 
     A :class:`~repro.perf.FastCongestRun` engages the compiled fast
     branch (cached neighbor tuples, memoized ``repr`` keys, batched
-    ledger charging); distances, tags, parents, iterations, and the
-    ledger end state are identical either way (tests/test_perf.py).
+    ledger charging); a :class:`~repro.perf.npkernels.NumpyCongestRun`
+    additionally runs the relaxation itself as scaled-int64 array
+    kernels when the workload scales exactly, falling back to the
+    compiled branch otherwise. Distances, tags, parents, iterations,
+    and the ledger end state are identical on every branch
+    (tests/test_perf.py, tests/test_npkernels.py).
     """
+    blocked = blocked or frozenset()
+    if getattr(run, "npc", None) is not None:
+        from repro.perf.npkernels import bellman_ford_numpy
+
+        result = bellman_ford_numpy(
+            graph, sources, run, edge_weight, blocked, max_iterations
+        )
+        if result is not None:
+            return result
     if edge_weight is None:
         edge_weight = graph.weight
-    blocked = blocked or frozenset()
 
     dist: Dict[Node, Number] = {}
     tag: Dict[Node, Tag] = {}

@@ -79,11 +79,18 @@ def build_bfs_tree(
 
     A :class:`~repro.perf.FastCongestRun` engages the compiled fast
     branch (cached neighbor tuples and ``repr`` keys, batched ledger
-    charging); the execution — parents, depths, rounds, per-edge
-    traffic — is identical either way (pinned in tests/test_perf.py).
+    charging); a :class:`~repro.perf.npkernels.NumpyCongestRun` runs the
+    whole flood as array kernels (integer ranks reproduce the ``repr``
+    tie-breaking). The execution — parents, depths, rounds, per-edge
+    traffic — is identical either way (pinned in tests/test_perf.py and
+    tests/test_npkernels.py).
     """
     if root is None:
         root = default_root(graph)
+    if getattr(run, "npc", None) is not None:
+        from repro.perf.npkernels import build_bfs_tree_numpy
+
+        return build_bfs_tree_numpy(run, root)
     parent: Dict[Node, Optional[Node]] = {root: None}
     depth_of: Dict[Node, int] = {root: 0}
     frontier: List[Node] = [root]

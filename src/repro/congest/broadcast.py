@@ -35,6 +35,10 @@ def broadcast_items(
     if not items or tree.depth == 0:
         # Nothing to send or a single-node tree: knowledge is already local.
         return items
+    if getattr(run, "npc", None) is not None:
+        from repro.perf.npkernels import broadcast_items_numpy
+
+        return broadcast_items_numpy(tree, items, run)
     compiled = getattr(run, "compiled", None)
     canon = compiled.canon if compiled is not None else None
     top_down = tree.nodes_top_down()
@@ -74,7 +78,16 @@ def convergecast_aggregate(
     ``combine`` must be associative and commutative, and the combined value
     must still fit in one message (e.g. min, max, sum of O(log n)-bit
     numbers). Returns the aggregate of all values.
+
+    A :class:`~repro.perf.npkernels.NumpyCongestRun` replaces the
+    per-round bottom-up re-sort with a precomputed subtree-height
+    schedule; the combine order, rounds, and ledger end state are
+    identical (tests/test_npkernels.py).
     """
+    if getattr(run, "npc", None) is not None:
+        from repro.perf.npkernels import convergecast_aggregate_numpy
+
+        return convergecast_aggregate_numpy(tree, values, combine, run)
     acc: Dict[Node, Item] = dict(values)
     waiting: Dict[Node, int] = {
         v: len(tree.children[v]) for v in tree.parent

@@ -216,6 +216,10 @@ def distributed_moat_growing(
     # execution, precompiled charging and memoized per-phase geometry.
     compiled = getattr(run, "compiled", None)
     profiler = getattr(run, "profiler", None)
+    # The vectorized numpy tier (repro.perf.npkernels): same contract —
+    # the kernels are byte-identical or they decline and the python
+    # branches below run unchanged.
+    npc = getattr(run, "npc", None)
 
     # ------------------------------------------------------------------
     # Step 1: BFS tree; make (v, λ(v)) global knowledge. O(D + t) rounds.
@@ -283,6 +287,18 @@ def distributed_moat_growing(
                     value = plain_reduced_weight(x, y)
                     rw_cache[(x, y)] = rw_cache[(y, x)] = value
                 return value
+
+            if npc is not None:
+                # Precompute the whole phase's Ŵ_j on the scaled int64
+                # grid; the Bellman–Ford kernel picks it up through the
+                # ``np_scaled`` hook. None (unscalable leftovers) simply
+                # leaves the hook unset — the kernel then scales the
+                # python callable itself or declines entirely.
+                from repro.perf.npkernels import scaled_reduced_weights
+
+                np_scaled = scaled_reduced_weights(npc, leftover)
+                if np_scaled is not None:
+                    reduced_weight.np_scaled = np_scaled  # type: ignore[attr-defined]
 
         sources = {}
         blocked: Set[Node] = set()
@@ -453,17 +469,33 @@ def distributed_moat_growing(
         # gains µ_phase of leftover; nodes the Bellman–Ford reached within
         # µ_phase are newly absorbed. Activity *during* the phase is the
         # activity at phase start, i.e. membership in ``sources``.
-        for x, lo in list(leftover.items()):
-            own = owner[x]
-            if own is not None and x in sources:
-                leftover[x] = lo + mu_phase
-        for x, d in tree_dist.items():
-            if x in sources:
-                continue
-            if d <= mu_phase:
-                owner[x] = tree_owner[x]
-                parent[x] = tree_parent[x]
-                leftover[x] = mu_phase - d
+        grown = False
+        if npc is not None:
+            from repro.perf.npkernels import apply_radius_growth
+
+            grown = apply_radius_growth(
+                npc,
+                leftover,
+                owner,
+                parent,
+                sources,
+                tree_owner,
+                tree_parent,
+                tree_dist,
+                mu_phase,
+            )
+        if not grown:
+            for x, lo in list(leftover.items()):
+                own = owner[x]
+                if own is not None and x in sources:
+                    leftover[x] = lo + mu_phase
+            for x, d in tree_dist.items():
+                if x in sources:
+                    continue
+                if d <= mu_phase:
+                    owner[x] = tree_owner[x]
+                    parent[x] = tree_parent[x]
+                    leftover[x] = mu_phase - d
 
     # ------------------------------------------------------------------
     # Step 5: materialize the merge paths by token passing along the

@@ -19,6 +19,7 @@ fractionally contained edges as used by moat growing.
 
 import heapq
 from fractions import Fraction
+from types import MappingProxyType
 from typing import (
     Dict,
     FrozenSet,
@@ -200,6 +201,16 @@ class WeightedGraph:
     def neighbors(self, v: Node) -> Tuple[Node, ...]:
         """Neighbors of ``v`` in deterministic order."""
         return tuple(sorted(self._adj[v], key=repr))
+
+    def adjacency(self, v: Node) -> Mapping[Node, int]:
+        """The neighbor → weight mapping of ``v``, unsorted.
+
+        A read-only view of the internal adjacency, for topology
+        compilers that impose their own order (sorting here would
+        redo per-call what they do once); everything else should use
+        :meth:`neighbors`, whose order is the deterministic contract.
+        """
+        return MappingProxyType(self._adj[v])
 
     def degree(self, v: Node) -> int:
         return len(self._adj[v])

@@ -15,6 +15,12 @@ cost of the paper's Steiner-forest pipeline:
   keys, batched Counter charging, incremental sorted buffers).
   :func:`make_ledger_run` threads the experiment engine's ``--backend``
   axis (including ``auto``) into the ledger-level solvers.
+* :mod:`repro.perf.npkernels` — the optional vectorized ``numpy`` tier:
+  :class:`NumpyCongestRun` (a :class:`FastCongestRun` subclass carrying
+  a CSR :class:`NumpyTopology`) plus exact integer-dtype kernels for the
+  regular primitives (BFS, Bellman–Ford, broadcast, convergecast, moat
+  radius growth). Imported lazily/conditionally — with numpy absent the
+  package still imports and the two-tier stack is unaffected.
 * :mod:`repro.perf.report` — the flame-style text report behind the
   ``repro profile`` subcommand.
 
@@ -29,9 +35,17 @@ from repro.perf.fastpath import CompiledTopology, FastCongestRun, make_ledger_ru
 from repro.perf.profiler import PhaseProfiler, PhaseStats, maybe_span
 from repro.perf.report import render_profile_report
 
+try:  # The numpy tier is an optional extra: absence is not an error.
+    from repro.perf.npkernels import NumpyCongestRun, NumpyTopology
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    NumpyCongestRun = None  # type: ignore[assignment,misc]
+    NumpyTopology = None  # type: ignore[assignment,misc]
+
 __all__ = [
     "CompiledTopology",
     "FastCongestRun",
+    "NumpyCongestRun",
+    "NumpyTopology",
     "make_ledger_run",
     "PhaseProfiler",
     "PhaseStats",

@@ -46,7 +46,12 @@ from repro.congest.run import (
     per_direction_violation,
 )
 from repro.model.graph import Edge, Node, WeightedGraph
-from repro.simbackend import AUTO_THRESHOLD_NODES, choose_engine_name, normalize_backend
+from repro.simbackend import (
+    AUTO_THRESHOLD_NODES,
+    NUMPY_THRESHOLD_NODES,
+    choose_engine_name,
+    normalize_backend,
+)
 
 
 class CompiledTopology:
@@ -222,10 +227,13 @@ def make_ledger_run(
       — its win is multiprocess NodeProgram dispatch) → a plain
       :class:`CongestRun`;
     * ``flatarray`` → a :class:`FastCongestRun`;
+    * ``numpy`` → a :class:`repro.perf.npkernels.NumpyCongestRun` (only
+      reachable when the optional numpy extra registered the tier —
+      otherwise the shared validation rejects the name);
     * ``auto`` → the size heuristic shared with
-      :class:`~repro.simbackend.AutoBackend` (``threshold`` param
-      honored), so ``backend="auto"`` picks consistently across
-      message-level and ledger-level executions.
+      :class:`~repro.simbackend.AutoBackend` (``threshold`` and
+      ``numpy_threshold`` params honored), so ``backend="auto"`` picks
+      consistently across message-level and ledger-level executions.
 
     Raises:
         ValueError: on unknown backend names or parameters — validated
@@ -240,7 +248,25 @@ def make_ledger_run(
     name = spec["name"]
     if name == "auto":
         threshold = int(spec["params"].get("threshold", AUTO_THRESHOLD_NODES))
-        name = choose_engine_name(graph.num_nodes, threshold)
+        numpy_threshold = int(
+            spec["params"].get("numpy_threshold", NUMPY_THRESHOLD_NODES)
+        )
+        name = choose_engine_name(graph.num_nodes, threshold, numpy_threshold)
+    if name == "numpy":
+        # Import deferred (and guaranteed to succeed): the spec passed
+        # validation, so the numpy tier is registered ⇒ numpy imports.
+        from repro.perf.npkernels import NumpyCongestRun
+
+        try:
+            return NumpyCongestRun(
+                graph, bandwidth_bits=bandwidth_bits, max_rounds=max_rounds
+            )
+        except OverflowError:
+            # Edge weights outside the int64 grid: an explicit numpy
+            # request fails loudly, but auto degrades to flatarray.
+            if spec["name"] != "auto":
+                raise
+            name = "flatarray"
     if name == "flatarray":
         return FastCongestRun(
             graph, bandwidth_bits=bandwidth_bits, max_rounds=max_rounds

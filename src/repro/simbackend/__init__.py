@@ -15,10 +15,15 @@ while the engine that turns the crank is swappable:
 * :mod:`repro.simbackend.sharded` — a multiprocess engine that
   partitions nodes across worker processes with per-round batched IPC,
   so one large instance uses many cores.
-* :mod:`repro.simbackend.auto` — resolves to ``reference`` or
-  ``flatarray`` at bind time from the instance size (the measured
-  crossover), sharing its heuristic with the ledger-level fast path in
-  :mod:`repro.perf`.
+* :mod:`repro.simbackend.npbackend` — the optional ``numpy`` tier's
+  message-level engine (flat-array execution with numpy flush
+  ordering); registered only when numpy imports, so the reference path
+  stays dependency-free. Its ledger-level counterpart is
+  :class:`repro.perf.npkernels.NumpyCongestRun`.
+* :mod:`repro.simbackend.auto` — resolves to ``reference``,
+  ``flatarray``, or ``numpy`` at bind time from the instance size (the
+  measured crossovers), sharing its heuristic with the ledger-level
+  fast path in :mod:`repro.perf`.
 
 **Invariant: reference is the byte-identical ground truth.** Every
 other engine — and the ledger-level fast path the backend axis selects
@@ -34,7 +39,13 @@ stores keep absorbing re-runs), and every other engine hashes to its
 own key.
 """
 
-from repro.simbackend.auto import AUTO_THRESHOLD_NODES, AutoBackend, choose_engine_name
+from repro.simbackend.auto import (
+    AUTO_THRESHOLD_NODES,
+    NUMPY_THRESHOLD_NODES,
+    AutoBackend,
+    choose_engine_name,
+    numpy_tier_available,
+)
 from repro.simbackend.base import (
     BACKENDS,
     DEFAULT_BACKEND,
@@ -49,13 +60,21 @@ from repro.simbackend.flatarray import FlatArrayBackend
 from repro.simbackend.reference import ReferenceBackend
 from repro.simbackend.sharded import ShardedBackend
 
+try:  # The numpy tier is an optional extra: absence is not an error.
+    from repro.simbackend.npbackend import NumpyBackend
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    NumpyBackend = None  # type: ignore[assignment,misc]
+
 __all__ = [
     "AUTO_THRESHOLD_NODES",
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "NUMPY_THRESHOLD_NODES",
     "AutoBackend",
     "choose_engine_name",
+    "numpy_tier_available",
     "Context",
+    "NumpyBackend",
     "SimulationBackend",
     "build_backend",
     "is_default_backend",

@@ -38,15 +38,46 @@ from repro.simbackend.base import (
 #: ``benchmarks/bench_e16_backends.py`` and ``bench_e18_profile.py``.
 AUTO_THRESHOLD_NODES = 64
 
+#: Node count from which the vectorized ``numpy`` tier beats
+#: ``flatarray`` end-to-end (its array compilation and per-round kernel
+#: launch overheads amortize; measured in
+#: ``benchmarks/bench_e22_numpy.py``). Only reachable when the optional
+#: numpy extra is installed — otherwise the heuristic stays two-tier.
+NUMPY_THRESHOLD_NODES = 1024
 
-def choose_engine_name(num_nodes: int, threshold: int = AUTO_THRESHOLD_NODES) -> str:
+
+def numpy_tier_available() -> bool:
+    """Whether the optional ``numpy`` engine registered (numpy installed).
+
+    Checked lazily at choice time: the registry is populated by the
+    package import, which tolerates a missing numpy by simply not
+    registering the tier.
+    """
+    from repro.simbackend.base import BACKENDS
+
+    return "numpy" in BACKENDS
+
+
+def choose_engine_name(
+    num_nodes: int,
+    threshold: int = AUTO_THRESHOLD_NODES,
+    numpy_threshold: int = NUMPY_THRESHOLD_NODES,
+) -> str:
     """The engine the auto heuristic picks for an ``num_nodes``-node graph.
 
-    Shared by :class:`AutoBackend` (message-level executions) and
-    :func:`repro.perf.make_ledger_run` (ledger-level solvers) so the two
-    halves of ``backend="auto"`` cannot drift apart.
+    Three tiers: ``reference`` below ``threshold``, ``flatarray`` in the
+    mid-range, and ``numpy`` from ``numpy_threshold`` up when the
+    optional extra is installed (without numpy the top tier cleanly
+    degrades to ``flatarray``). Shared by :class:`AutoBackend`
+    (message-level executions) and :func:`repro.perf.make_ledger_run`
+    (ledger-level solvers) so the two halves of ``backend="auto"``
+    cannot drift apart.
     """
-    return "reference" if num_nodes < threshold else "flatarray"
+    if num_nodes < threshold:
+        return "reference"
+    if num_nodes >= numpy_threshold and numpy_tier_available():
+        return "numpy"
+    return "flatarray"
 
 
 @register_backend
@@ -58,27 +89,39 @@ class AutoBackend(SimulationBackend):
             ``reference`` to ``flatarray``. The default is the measured
             crossover; a non-default value hashes into the backend spec
             (and therefore into result-store cache keys).
+        numpy_threshold: node count at which the choice flips from
+            ``flatarray`` to the vectorized ``numpy`` tier (when the
+            optional extra is installed). Same identity semantics: only
+            non-default values hash into the spec.
     """
 
     name = "auto"
 
-    def __init__(self, threshold: int = AUTO_THRESHOLD_NODES) -> None:
-        """See the class docstring for the ``threshold`` semantics."""
+    def __init__(
+        self,
+        threshold: int = AUTO_THRESHOLD_NODES,
+        numpy_threshold: int = NUMPY_THRESHOLD_NODES,
+    ) -> None:
+        """See the class docstring for the threshold semantics."""
         # Before the base constructor: its ``self.round = 0`` goes
         # through the delegating property setter below, which needs
         # ``_engine`` to exist (still None pre-bind).
         self._engine: Optional[SimulationBackend] = None
         super().__init__()
         self.threshold = int(threshold)
+        self.numpy_threshold = int(numpy_threshold)
 
     # -- identity --------------------------------------------------------
 
     def params(self) -> Dict[str, Any]:
-        """Spec parameters: empty at the default threshold, so plain
+        """Spec parameters: empty at the default thresholds, so plain
         ``"auto"`` round-trips through :func:`normalize_backend`."""
-        if self.threshold == AUTO_THRESHOLD_NODES:
-            return {}
-        return {"threshold": self.threshold}
+        params: Dict[str, Any] = {}
+        if self.threshold != AUTO_THRESHOLD_NODES:
+            params["threshold"] = self.threshold
+        if self.numpy_threshold != NUMPY_THRESHOLD_NODES:
+            params["numpy_threshold"] = self.numpy_threshold
+        return params
 
     # -- delegation ------------------------------------------------------
 
@@ -104,7 +147,9 @@ class AutoBackend(SimulationBackend):
         """Resolve the engine for ``graph`` and bind it to the execution."""
         super().bind(graph, programs, run, network, trace)
         self._engine = build_backend(
-            choose_engine_name(graph.num_nodes, self.threshold)
+            choose_engine_name(
+                graph.num_nodes, self.threshold, self.numpy_threshold
+            )
         )
         self._engine.bind(graph, programs, run, network, trace)
 

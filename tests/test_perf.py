@@ -42,8 +42,19 @@ from repro.perf import (
     maybe_span,
     render_profile_report,
 )
-from repro.simbackend import AUTO_THRESHOLD_NODES, AutoBackend
+from repro.simbackend import (
+    AUTO_THRESHOLD_NODES,
+    NUMPY_THRESHOLD_NODES,
+    AutoBackend,
+    choose_engine_name,
+    numpy_tier_available,
+)
 from repro.workloads import random_instance
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_tier_available(),
+    reason="optional numpy extra not installed",
+)
 
 FAMILY_PARAMS = {
     "gnp": {"n": 14, "p": 0.3},
@@ -265,7 +276,14 @@ class TestProfilingIsFree:
 
 class TestLedgerFastPathConformance:
     @pytest.mark.parametrize("family", sorted(FAMILY_PARAMS))
-    @pytest.mark.parametrize("engine", ["flatarray", "auto"])
+    @pytest.mark.parametrize(
+        "engine",
+        [
+            "flatarray",
+            "auto",
+            pytest.param("numpy", marks=requires_numpy),
+        ],
+    )
     def test_distributed_pipeline_matches_reference(self, family, engine):
         instance = _instance(family)
         reference = distributed_moat_growing(
@@ -277,6 +295,8 @@ class TestLedgerFastPathConformance:
             fast_run = make_ledger_run(
                 {"name": "auto", "params": {"threshold": 1}}, instance.graph
             )
+        elif engine == "numpy":
+            fast_run = make_ledger_run("numpy", instance.graph)
         else:
             fast_run = FastCongestRun(instance.graph)
         fast = distributed_moat_growing(instance, run=fast_run)
@@ -292,13 +312,17 @@ class TestLedgerFastPathConformance:
         assert merges_ref == merges_fast
 
     @pytest.mark.parametrize("family", ["gnp", "grid", "ring"])
-    def test_sublinear_pipeline_matches_reference(self, family):
+    @pytest.mark.parametrize(
+        "engine",
+        ["flatarray", pytest.param("numpy", marks=requires_numpy)],
+    )
+    def test_sublinear_pipeline_matches_reference(self, family, engine):
         instance = _instance(family)
         reference = sublinear_moat_growing(
             instance, run=CongestRun(instance.graph)
         )
         fast = sublinear_moat_growing(
-            instance, run=FastCongestRun(instance.graph)
+            instance, run=make_ledger_run(engine, instance.graph)
         )
         assert _ledger_fingerprint(reference) == _ledger_fingerprint(fast)
         assert reference.sigma == fast.sigma
@@ -327,9 +351,10 @@ class TestLedgerFastPathConformance:
                 sorted(run.edge_messages.items(), key=repr),
             )
 
-        assert run_primitives(CongestRun(graph)) == run_primitives(
-            FastCongestRun(graph)
-        )
+        baseline = run_primitives(CongestRun(graph))
+        assert baseline == run_primitives(FastCongestRun(graph))
+        if numpy_tier_available():
+            assert baseline == run_primitives(make_ledger_run("numpy", graph))
 
     def test_fast_tick_validation_matches_reference_errors(self):
         graph = WeightedGraph([0, 1, 2], [(0, 1, 1), (1, 2, 1)])
@@ -373,7 +398,68 @@ class TestLedgerFastPathConformance:
             FastCongestRun(graph_a, compiled=CompiledTopology(graph_b))
 
 
+def _path_graph(num_nodes):
+    """A cheap connected graph at exactly ``num_nodes`` nodes."""
+    return WeightedGraph(
+        list(range(num_nodes)),
+        [(i, i + 1, 1) for i in range(num_nodes - 1)],
+    )
+
+
+#: The auto heuristic's tier boundaries, one row per side of each
+#: crossover: (num_nodes, engine without the numpy extra, engine with
+#: it). The defaults are AUTO_THRESHOLD_NODES = 64 and
+#: NUMPY_THRESHOLD_NODES = 1024.
+TIER_BOUNDARY_CASES = [
+    (63, "reference", "reference"),
+    (64, "flatarray", "flatarray"),
+    (1023, "flatarray", "flatarray"),
+    (1024, "flatarray", "numpy"),
+]
+
+
+def _expected_tier(without_numpy, with_numpy):
+    return with_numpy if numpy_tier_available() else without_numpy
+
+
+def _ledger_type(engine_name):
+    if engine_name == "reference":
+        return CongestRun
+    if engine_name == "numpy":
+        from repro.perf.npkernels import NumpyCongestRun
+
+        return NumpyCongestRun
+    assert engine_name == "flatarray"
+    return FastCongestRun
+
+
 class TestAutoBackend:
+    def test_threshold_constants_are_ordered(self):
+        assert 1 < AUTO_THRESHOLD_NODES < NUMPY_THRESHOLD_NODES
+        assert TIER_BOUNDARY_CASES[0][0] == AUTO_THRESHOLD_NODES - 1
+        assert TIER_BOUNDARY_CASES[1][0] == AUTO_THRESHOLD_NODES
+        assert TIER_BOUNDARY_CASES[2][0] == NUMPY_THRESHOLD_NODES - 1
+        assert TIER_BOUNDARY_CASES[3][0] == NUMPY_THRESHOLD_NODES
+
+    @pytest.mark.parametrize(
+        ("num_nodes", "without_numpy", "with_numpy"), TIER_BOUNDARY_CASES
+    )
+    def test_choose_engine_name_boundaries(
+        self, num_nodes, without_numpy, with_numpy
+    ):
+        expected = _expected_tier(without_numpy, with_numpy)
+        assert choose_engine_name(num_nodes) == expected
+
+    @pytest.mark.parametrize(
+        ("num_nodes", "without_numpy", "with_numpy"), TIER_BOUNDARY_CASES
+    )
+    def test_ledger_tier_boundaries(
+        self, num_nodes, without_numpy, with_numpy
+    ):
+        expected = _expected_tier(without_numpy, with_numpy)
+        run = make_ledger_run("auto", _path_graph(num_nodes))
+        assert type(run) is _ledger_type(expected)
+
     def test_ledger_heuristic_thresholds(self):
         small = random_instance(8, 2, random.Random(1)).graph
         assert type(make_ledger_run("auto", small)) is CongestRun
@@ -398,6 +484,25 @@ class TestAutoBackend:
                 {"name": "sharded", "params": {"num_shards": 0}}, small
             )
 
+    @requires_numpy
+    def test_ledger_numpy_overrides(self):
+        small = random_instance(8, 2, random.Random(1)).graph
+        from repro.perf.npkernels import NumpyCongestRun
+
+        assert type(make_ledger_run("numpy", small)) is NumpyCongestRun
+        # Lowered thresholds route an 8-node graph to the top tier.
+        spec = {
+            "name": "auto",
+            "params": {"threshold": 4, "numpy_threshold": 8},
+        }
+        assert type(make_ledger_run(spec, small)) is NumpyCongestRun
+        # The reference floor still wins below the first threshold.
+        tiny_spec = {
+            "name": "auto",
+            "params": {"threshold": 64, "numpy_threshold": 1},
+        }
+        assert type(make_ledger_run(tiny_spec, small)) is CongestRun
+
     def test_simulator_delegation_picks_by_size(self):
         graph = random_instance(8, 2, random.Random(2)).graph
         programs = {v: FloodMaxLeaderElection() for v in graph.nodes}
@@ -415,11 +520,29 @@ class TestAutoBackend:
             p.leader == max(graph.nodes) for p in forced.programs.values()
         )
 
+    @requires_numpy
+    def test_simulator_delegation_picks_numpy_tier(self):
+        graph = random_instance(8, 2, random.Random(2)).graph
+        forced = Simulator(
+            graph,
+            {v: FloodMaxLeaderElection() for v in graph.nodes},
+            backend=AutoBackend(threshold=1, numpy_threshold=1),
+        )
+        assert forced.backend.engine.name == "numpy"
+        assert forced.run_to_completion() > 0
+        assert all(
+            p.leader == max(graph.nodes) for p in forced.programs.values()
+        )
+
     def test_spec_round_trip_and_params(self):
         assert AutoBackend().spec() == {"name": "auto", "params": {}}
         assert AutoBackend(threshold=7).spec() == {
             "name": "auto",
             "params": {"threshold": 7},
+        }
+        assert AutoBackend(numpy_threshold=9).spec() == {
+            "name": "auto",
+            "params": {"numpy_threshold": 9},
         }
         assert AUTO_THRESHOLD_NODES > 1
 

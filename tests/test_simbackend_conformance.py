@@ -1,11 +1,13 @@
 """Cross-backend conformance: every engine computes the same execution.
 
 The reference engine is the regression-pinned semantic baseline; this
-suite proves the ``flatarray`` and ``sharded`` engines reproduce it
-*exactly* — rounds, ledger traffic (messages and per-edge counters),
-network-model statistics, trace event streams, and final program states
-— across the full matrix of built-in NodeProgram × graph family ×
-network model combinations.
+suite proves the ``flatarray``, ``sharded``, and (when the optional
+extra is installed) ``numpy`` engines reproduce it *exactly* — rounds,
+ledger traffic (messages and per-edge counters), network-model
+statistics, trace event streams, and final program states — across the
+full matrix of built-in NodeProgram × graph family × network model
+combinations. The ``numpy`` rows carry a skip marker keyed on the
+registry, so the dependency-free environment skips them cleanly.
 
 CI runs this file once per backend (``-k flatarray`` / ``-k reference``)
 in the conformance matrix; the ids are structured so the filter works.
@@ -22,7 +24,20 @@ from repro.congest.simulator import (
 )
 from repro.engine.registry import GRAPH_FAMILIES
 from repro.netmodel import TraceRecorder
-from repro.simbackend import AutoBackend, ShardedBackend
+from repro.simbackend import AutoBackend, ShardedBackend, numpy_tier_available
+
+requires_numpy = pytest.mark.skipif(
+    not numpy_tier_available(),
+    reason="optional numpy extra not installed",
+)
+
+#: The non-reference engines every matrix case runs against.
+MATRIX_BACKENDS = [
+    "flatarray",
+    "sharded",
+    "auto",
+    pytest.param("numpy", marks=requires_numpy),
+]
 
 
 def _engine_for(backend):
@@ -142,7 +157,7 @@ def _reference(program_key, family, network_key):
 @pytest.mark.parametrize("network_key", sorted(NETWORKS))
 @pytest.mark.parametrize("family", sorted(FAMILY_PARAMS))
 @pytest.mark.parametrize("program_key", sorted(PROGRAMS))
-@pytest.mark.parametrize("backend", ["flatarray", "sharded", "auto"])
+@pytest.mark.parametrize("backend", MATRIX_BACKENDS)
 def test_engine_matches_baseline(backend, program_key, family, network_key):
     expected = _reference(program_key, family, network_key)
     actual = _execute(_engine_for(backend), program_key, family, network_key)
@@ -154,7 +169,7 @@ def test_engine_matches_baseline(backend, program_key, family, network_key):
         )
 
 
-@pytest.mark.parametrize("backend", ["reference", "flatarray", "sharded", "auto"])
+@pytest.mark.parametrize("backend", ["reference"] + MATRIX_BACKENDS)
 def test_pinned_grid_execution(backend):
     """The clean-channel FloodMax execution on the 3×4 grid is pinned:
     any engine (including reference itself) must reproduce these counts.
@@ -209,7 +224,7 @@ class TestTraceConformance:
     """Satellite: the JSONL event stream from flatarray matches the
     reference recorder event-for-event on a fixed seed."""
 
-    @pytest.mark.parametrize("backend", ["flatarray", "sharded", "auto"])
+    @pytest.mark.parametrize("backend", MATRIX_BACKENDS)
     def test_jsonl_streams_identical(self, tmp_path, backend):
         def run(engine, path):
             graph = _build_graph("gnp")

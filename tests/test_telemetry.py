@@ -523,6 +523,33 @@ class TestCli:
         assert code == 0
         assert "logical metrics identical" in capsys.readouterr().out
 
+    def test_trace_diff_reference_vs_numpy_identical(self, capsys):
+        """Differential round trace: the numpy tier's per-phase
+        rounds/messages/bits tables equal reference on the same seeded
+        scenario (``repro trace diff`` exits 0)."""
+        from repro.simbackend import numpy_tier_available
+
+        if not numpy_tier_available():
+            pytest.skip("optional numpy extra not installed")
+        code = main(
+            ["trace", "diff", "reference", "numpy",
+             "--n", "24", "--seed", "7"]
+        )
+        assert code == 0
+        assert "logical metrics identical" in capsys.readouterr().out
+
+    def test_trace_diff_numpy_sublinear_identical(self, capsys):
+        from repro.simbackend import numpy_tier_available
+
+        if not numpy_tier_available():
+            pytest.skip("optional numpy extra not installed")
+        code = main(
+            ["trace", "diff", "reference", "numpy",
+             "--n", "20", "--algorithm", "sublinear"]
+        )
+        assert code == 0
+        assert "logical metrics identical" in capsys.readouterr().out
+
     def test_trace_diff_files_differ_exits_nonzero(self, tmp_path, capsys):
         a = tmp_path / "a.jsonl"
         b = tmp_path / "b.jsonl"
@@ -603,6 +630,64 @@ class TestCli:
         assert report.ok
         checks = [e for e in sink.events if e["event"] == "bench_check"]
         assert len(checks) == 1 and checks[0]["ok"]
+
+    def _numpy_bench_file(self, tmp_path, entries):
+        path = tmp_path / "BENCH_numpy_small.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "experiment": "e22-numpy",
+                    "workload": {
+                        "degree": 4, "num_sources": 2, "num_items": 4,
+                    },
+                    "entries": entries,
+                }
+            )
+        )
+        return path
+
+    def test_bench_check_e22_driver_passes(self, tmp_path, capsys):
+        from repro.telemetry.benchcheck import _measure_primitives
+
+        workload = {"degree": 4, "num_sources": 2, "num_items": 4}
+        measured = _measure_primitives(workload, 16, "reference")
+        path = self._numpy_bench_file(
+            tmp_path,
+            [
+                {
+                    "n": 16,
+                    "backend": "reference",
+                    "seconds": measured["seconds"],
+                    "rounds": measured["rounds"],
+                    "messages": measured["messages"],
+                }
+            ],
+        )
+        assert main(["bench", "check", "--file", str(path)]) == 0
+        assert "1/1 entries pass" in capsys.readouterr().out
+
+    def test_bench_check_skips_numpy_entries_without_the_extra(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # A committed numpy-tier entry must not fail the gate in the
+        # dependency-free environment — it is skipped, not measured.
+        monkeypatch.setattr(
+            "repro.simbackend.numpy_tier_available", lambda: False
+        )
+        path = self._numpy_bench_file(
+            tmp_path,
+            [
+                {
+                    "n": 16,
+                    "backend": "numpy",
+                    "seconds": 0.01,
+                    "rounds": 1,
+                    "messages": 1,
+                }
+            ],
+        )
+        assert main(["bench", "check", "--file", str(path)]) == 0
+        assert "1 skipped" in capsys.readouterr().out
 
     def test_sweep_quiet_suppresses_progress(self, tmp_path, capsys):
         code = main(
